@@ -1,0 +1,168 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Beyond reproducing the paper's figures, these benches isolate each ARVI
+ingredient on the benchmarks where it matters:
+
+* depth tag (Section 4.5)  — loop-iteration disambiguation: m88ksim
+  collapses without it;
+* id tag (Section 4.4)     — the path signature;
+* confidence gating        — L1 filtering of easy branches;
+* BVIT geometry            — sets/ways sweep;
+* chain-length scheduling  — the Section 3 issue-priority application.
+"""
+
+import pytest
+
+from repro.applications.scheduling import compare_policies
+from repro.core.arvi import ARVIConfig, ValueMode
+from repro.experiments.report import format_table
+from repro.pipeline.config import machine_for_depth
+from repro.pipeline.engine import PipelineEngine, build_predictor
+from repro.predictors.confidence import ConfidenceEstimator
+from repro.predictors.twolevel import LevelTwoKind
+from repro.workloads.registry import get_program
+
+ABLATION_BENCHMARKS = ("m88ksim", "li", "compress")
+
+
+def run_arvi(benchmark_name, scale, warmup, arvi_config=None,
+             confidence=None):
+    program = get_program(benchmark_name, scale=scale)
+    config = machine_for_depth(20)
+    predictor = build_predictor(LevelTwoKind.ARVI, config, arvi_config)
+    if confidence is not None:
+        predictor.confidence = confidence
+    engine = PipelineEngine(program, config, predictor,
+                            value_mode=ValueMode.CURRENT,
+                            warmup_instructions=warmup)
+    return engine.run()
+
+
+def test_ablation_depth_tag(benchmark, save_result, scale, warmup):
+    """Without the depth tag, same-path loop iterations alias (m88ksim)."""
+
+    def run():
+        rows = []
+        for name in ABLATION_BENCHMARKS:
+            with_tag = run_arvi(name, scale, warmup)
+            without = run_arvi(name, scale, warmup,
+                               ARVIConfig(use_depth_tag=False))
+            rows.append([name, with_tag.prediction_accuracy,
+                         without.prediction_accuracy])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_depth_tag", format_table(
+        ["benchmark", "with depth tag", "without"], rows,
+        title="Ablation: chain-depth tag (Section 4.5)",
+        float_format="{:.4f}"))
+    by_name = {row[0]: row for row in rows}
+    # m88ksim relies on the depth tag to separate loop iterations.
+    assert by_name["m88ksim"][1] > by_name["m88ksim"][2]
+
+
+def test_ablation_id_tag(benchmark, save_result, scale, warmup):
+    def run():
+        rows = []
+        for name in ABLATION_BENCHMARKS:
+            with_tag = run_arvi(name, scale, warmup)
+            without = run_arvi(name, scale, warmup,
+                               ARVIConfig(use_id_tag=False))
+            rows.append([name, with_tag.prediction_accuracy,
+                         without.prediction_accuracy])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_id_tag", format_table(
+        ["benchmark", "with id tag", "without"], rows,
+        title="Ablation: register-set id tag (Section 4.4)",
+        float_format="{:.4f}"))
+    # The id tag should never hurt much on average.
+    mean_with = sum(r[1] for r in rows) / len(rows)
+    mean_without = sum(r[2] for r in rows) / len(rows)
+    assert mean_with >= mean_without - 0.01
+
+
+def test_ablation_allocation_gating(benchmark, save_result, scale, warmup):
+    """BVIT allocation restricted to hard branches vs open allocation."""
+
+    def run():
+        rows = []
+        for name in ABLATION_BENCHMARKS:
+            gated = run_arvi(name, scale, warmup)
+            open_alloc = run_arvi(name, scale, warmup,
+                                  ARVIConfig(allocate_only_hard=False))
+            rows.append([name, gated.prediction_accuracy,
+                         open_alloc.prediction_accuracy])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_allocation", format_table(
+        ["benchmark", "hard-only allocation", "open allocation"], rows,
+        title="Ablation: BVIT allocation filtering (Section 5)",
+        float_format="{:.4f}"))
+
+
+def test_ablation_confidence_threshold(benchmark, save_result, scale,
+                                       warmup):
+    """Confidence threshold sweep: how much filtering is right."""
+
+    def run():
+        rows = []
+        for threshold in (4, 8, 14):
+            result = run_arvi(
+                "m88ksim", scale, warmup,
+                confidence=ConfidenceEstimator(threshold=threshold))
+            rows.append([threshold, result.prediction_accuracy,
+                         result.ipc])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_confidence", format_table(
+        ["threshold", "accuracy", "IPC"], rows,
+        title="Ablation: confidence threshold (m88ksim, 20-stage)",
+        float_format="{:.4f}"))
+
+
+def test_ablation_bvit_geometry(benchmark, save_result, scale, warmup):
+    """BVIT sets x ways sweep on the most BVIT-hungry benchmark."""
+
+    def run():
+        rows = []
+        for sets, ways in ((256, 4), (1024, 4), (2048, 4), (2048, 1)):
+            result = run_arvi(
+                "m88ksim", scale, warmup,
+                ARVIConfig(sets=sets, ways=ways,
+                           index_bits=max(4, sets.bit_length() - 1)))
+            rows.append([f"{sets}x{ways}", result.prediction_accuracy,
+                         result.bvit_hit_rate])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_bvit_geometry", format_table(
+        ["geometry", "accuracy", "BVIT hit rate"], rows,
+        title="Ablation: BVIT geometry (m88ksim, 20-stage)",
+        float_format="{:.4f}"))
+    by_geometry = {row[0]: row for row in rows}
+    # Associativity matters: direct-mapped thrashes (paper Section 4.1).
+    assert (by_geometry["2048x4"][1] >= by_geometry["2048x1"][1] - 0.005)
+
+
+def test_ablation_chain_scheduling(benchmark, save_result):
+    """Section 3 application: chain-length-aware issue priority."""
+
+    def run():
+        rows = []
+        for seed in range(6):
+            makespans = compare_policies(size=240, width=2, seed=seed)
+            rows.append([seed, makespans["oldest-first"],
+                         makespans["chain-priority"], makespans["random"]])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_scheduling", format_table(
+        ["seed", "oldest-first", "chain-priority", "random"], rows,
+        title="Ablation: chain-length-aware issue scheduling (Section 3)"))
+    oldest = sum(row[1] for row in rows)
+    chain = sum(row[2] for row in rows)
+    assert chain <= oldest  # chain priority is at least as good overall

@@ -1,0 +1,116 @@
+"""Microbenchmarks of the dependence-tracking hardware models.
+
+Sections 2 and 4 argue the DDT/RSE are cheap structures; these benches
+measure the *simulation* cost of each primitive (allocate/commit, chain
+read, RSE extraction, BVIT lookup) and pin the paper's sizing claims.
+The FastDDT-vs-reference comparison quantifies why the engine uses the
+sliding-window implementation.
+"""
+
+import random
+
+from repro.core.bvit import BVIT
+from repro.core.ddt import DDT, FastDDT
+from repro.core.hashing import bvit_index, depth_key, register_set_tag
+from repro.core.rse import ChainInfoTable
+
+
+def drive_ddt(ddt, operations=2000, num_regs=72, seed=7):
+    rng = random.Random(seed)
+    for _ in range(operations):
+        if ddt.in_flight >= ddt.num_entries - 1:
+            ddt.commit_oldest()
+        dest = rng.randrange(1, num_regs)
+        srcs = (rng.randrange(num_regs), rng.randrange(num_regs))
+        ddt.allocate(dest, srcs)
+        if ddt.in_flight > 40 and rng.random() < 0.5:
+            ddt.commit_oldest()
+    return ddt
+
+
+def test_fast_ddt_throughput(benchmark):
+    """Engine-side DDT: allocate/commit mix on the 21264 geometry."""
+    benchmark(lambda: drive_ddt(FastDDT(72, 80)))
+
+
+def test_reference_ddt_throughput(benchmark):
+    """Hardware-faithful DDT (explicit column clears) for comparison."""
+    benchmark(lambda: drive_ddt(DDT(72, 80), operations=400))
+
+
+def test_chain_read_latency(benchmark):
+    ddt = drive_ddt(FastDDT(72, 80))
+
+    def read_chains():
+        total = 0
+        for reg in range(72):
+            total += len(ddt.chain_tokens(reg))
+        return total
+
+    benchmark(read_chains)
+
+
+def test_rse_extraction(benchmark):
+    ddt = FastDDT(72, 80)
+    chains = ChainInfoTable()
+    rng = random.Random(3)
+    for _ in range(60):
+        if ddt.in_flight >= 79:
+            chains.discard(ddt.commit_oldest())
+        dest = rng.randrange(1, 72)
+        srcs = (rng.randrange(72), rng.randrange(72))
+        token = ddt.allocate(dest, srcs)
+        chains.insert(token, dest, srcs, is_load=rng.random() < 0.3)
+
+    def extract():
+        tokens = ddt.chain_tokens(5, 6)
+        return chains.extract(tokens, branch_srcs=(5, 6))
+
+    benchmark(extract)
+
+
+def test_bvit_lookup_update(benchmark):
+    bvit = BVIT(2048, 4)
+    rng = random.Random(11)
+    keys = [(rng.randrange(2048), rng.randrange(8), rng.randrange(32))
+            for _ in range(256)]
+    for index, id_tag, depth in keys:
+        bvit.update(index, id_tag, depth, taken=True)
+
+    def lookup_all():
+        hits = 0
+        for index, id_tag, depth in keys:
+            if bvit.lookup(index, id_tag, depth) is not None:
+                hits += 1
+        return hits
+
+    assert lookup_all() == len(keys)
+    benchmark(lookup_all)
+
+
+def test_hash_units(benchmark):
+    rng = random.Random(13)
+    value_sets = [[rng.randrange(2048) for _ in range(6)]
+                  for _ in range(128)]
+
+    def hash_all():
+        out = 0
+        for pc, values in enumerate(value_sets):
+            out ^= bvit_index(pc, values)
+            out ^= register_set_tag(values)
+            out ^= depth_key(100 + pc, 90)
+        return out
+
+    benchmark(hash_all)
+
+
+def test_paper_sizing_claims(benchmark):
+    """Section 2: 4-wide, 80-in-flight, 72-preg machine => 5760-bit DDT."""
+
+    def sizes():
+        ddt = DDT(72, 80)
+        return ddt.storage_bits, ddt.storage_bytes
+
+    bits, size_bytes = benchmark(sizes)
+    assert bits == 5760
+    assert size_bytes == 720   # the paper quotes ~730 bytes of RAM

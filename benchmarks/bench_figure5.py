@@ -1,0 +1,45 @@
+"""Regenerate paper Figure 5: calculated vs load branch behaviour.
+
+* 5(a): load-branch fraction per benchmark at 20/40/60 stages — the paper
+  reports a large fraction (most SPECint branches are load-evaluate-
+  branch) that grows slightly with depth.
+* 5(b): load branches predict worse than calculated branches.
+"""
+
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.report import arithmetic_mean
+from repro.pipeline.config import PIPELINE_DEPTHS
+from repro.workloads.registry import BENCHMARKS
+
+
+def test_figure5(benchmark, save_result, scale, warmup):
+    data = benchmark.pedantic(
+        lambda: run_figure5(scale=scale, warmup=warmup),
+        rounds=1, iterations=1)
+    save_result("figure5", data.render())
+
+    # Shape 1: the load-branch fraction is substantial on average.
+    rates_20 = [data.load_rates[(bench, 20)] for bench in BENCHMARKS]
+    assert arithmetic_mean(rates_20) > 0.35
+
+    # Shape 2: the mean fraction does not shrink with pipeline depth
+    # (the paper observes a slight increase).
+    mean_by_depth = {
+        depth: arithmetic_mean(
+            [data.load_rates[(bench, depth)] for bench in BENCHMARKS])
+        for depth in PIPELINE_DEPTHS
+    }
+    assert mean_by_depth[60] >= mean_by_depth[20] - 0.02
+
+    # Shape 3: calculated branches predict better than load branches on
+    # average and for nearly every benchmark.
+    calc = [data.calc_accuracy[bench] for bench in BENCHMARKS]
+    load = [data.load_accuracy[bench] for bench in BENCHMARKS]
+    assert arithmetic_mean(calc) > arithmetic_mean(load)
+    better = sum(c > l for c, l in zip(calc, load))
+    assert better >= len(BENCHMARKS) - 1
+
+    benchmark.extra_info["mean_load_rate_20"] = round(mean_by_depth[20], 3)
+    benchmark.extra_info["mean_load_rate_60"] = round(mean_by_depth[60], 3)
+    benchmark.extra_info["mean_calc_acc"] = round(arithmetic_mean(calc), 4)
+    benchmark.extra_info["mean_load_acc"] = round(arithmetic_mean(load), 4)

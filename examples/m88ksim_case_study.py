@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's m88ksim case study (Figure 7), examined per branch.
+
+Reproduces the analysis of Section 6: the ``lookupdisasm`` while-loop
+branches are *load branches* (their chains end in pending pointer-chase
+loads), yet ARVI predicts them almost perfectly because the committed key
+value plus the chain-depth tag identifies every (key, iteration) pair —
+and the static hash table makes each pair's outcome deterministic.
+
+Run:  python examples/m88ksim_case_study.py
+"""
+
+from collections import defaultdict
+
+from repro.core import ValueMode
+from repro.pipeline.config import machine_for_depth
+from repro.pipeline.engine import PipelineEngine, build_predictor
+from repro.predictors.twolevel import LevelTwoKind
+from repro.workloads.registry import get_program
+
+
+def run_with_branch_profile(kind, value_mode=ValueMode.CURRENT,
+                            scale=0.6, warmup=8000):
+    """Run m88ksim collecting per-PC final-prediction accuracy."""
+    program = get_program("m88ksim", scale=scale)
+    config = machine_for_depth(20)
+    predictor = build_predictor(kind, config)
+    engine = PipelineEngine(program, config, predictor,
+                            value_mode=value_mode,
+                            warmup_instructions=warmup)
+
+    profile = defaultdict(lambda: [0, 0])
+    original = engine._resolve_branch
+
+    def spy(dyn, decision, fetch, complete, measured):
+        outcome = original(dyn, decision, fetch, complete, measured)
+        if measured:
+            entry = profile[dyn.pc]
+            entry[0] += 1
+            entry[1] += decision.final_pred == dyn.taken
+        return outcome
+
+    engine._resolve_branch = spy
+    result = engine.run()
+    return program, result, profile
+
+
+def main() -> None:
+    program, hybrid_result, hybrid_profile = run_with_branch_profile(
+        LevelTwoKind.HYBRID)
+    _, arvi_result, arvi_profile = run_with_branch_profile(
+        LevelTwoKind.ARVI)
+
+    walk = program.labels["walk"]
+    null_check, opcode_check = walk, walk + 2
+
+    print("m88ksim lookupdisasm kernel (paper Figure 7)")
+    print("=" * 56)
+    print(f"overall accuracy : hybrid {hybrid_result.prediction_accuracy:.4f}"
+          f"  vs ARVI {arvi_result.prediction_accuracy:.4f}")
+    print(f"overall IPC      : hybrid {hybrid_result.ipc:.3f}"
+          f"  vs ARVI {arvi_result.ipc:.3f}"
+          f"  ({100 * (arvi_result.ipc / hybrid_result.ipc - 1):+.1f}%)")
+    print(f"load-branch rate : {arvi_result.load_branch_rate:.2f}"
+          f"  (calc acc {arvi_result.calculated.accuracy:.4f},"
+          f" load acc {arvi_result.load.accuracy:.4f})")
+    print()
+    print("the two while-loop branches of Figure 7:")
+    for label, pc in (("ptr != NULL ", null_check),
+                      ("opcode != key", opcode_check)):
+        h_n, h_c = hybrid_profile[pc]
+        a_n, a_c = arvi_profile[pc]
+        print(f"  {label} @pc={pc}: "
+              f"hybrid {h_c / max(h_n, 1):.4f} ({h_n} seen)  ->  "
+              f"ARVI {a_c / max(a_n, 1):.4f} ({a_n} seen)")
+    print()
+    print("Both walk branches depend on pending loads (load branches),")
+    print("but the committed key + chain-depth tag make them predictable")
+    print("for ARVI — the paper's central m88ksim observation.")
+
+
+if __name__ == "__main__":
+    main()

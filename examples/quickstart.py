@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: write a small program, simulate it, compare predictors.
+
+Builds a loop whose inner trip count is decided by a table value loaded
+two loop bodies ahead of its use — so the deciding register is
+*committed* when the loop-exit branch is fetched, exactly the situation
+the ARVI predictor exploits (paper Section 4).  Runs it on the 20-stage
+paper machine with the two-level 2Bc-gskew baseline and with ARVI as the
+second level.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import LevelTwoKind, ValueMode, machine_for_depth, simulate
+from repro.isa import AsmBuilder, nez
+from repro.isa.regs import s0, s1, s2, s3, s4, s5, t0, t1, t2
+
+OUTER_ITERATIONS = 1100  # each runs two unrolled bodies
+# A long pseudo-random trip-count sequence: far too long for branch
+# history to memorize, but each *value* still fully determines the inner
+# loop's exit iteration — exactly what ARVI exploits.
+_RNG = random.Random(42)
+TRIP_COUNTS = [_RNG.randrange(10) for _ in range(512)]
+
+
+def build_program():
+    """A value-determined nested loop (a miniature m88ksim pattern).
+
+    The body is unrolled twice with two count registers loaded directly
+    (no move chains): each count is consumed one full unrolled iteration
+    — about 50 instructions — after its load, so it is committed and its
+    value reaches ARVI's BVIT index while the chain-depth tag still
+    identifies the inner-loop iteration.
+    """
+    b = AsmBuilder("quickstart")
+    b.data_word("trip_counts", *TRIP_COUNTS)
+    b.label("main")
+    b.la(s0, "trip_counts")
+    b.li(s2, 0)              # work accumulator
+    b.lw(s4, s0, 0)          # prime both count registers
+    b.lw(s5, s0, 4)
+    b.li(s3, 2)              # next table index
+    with b.for_range(s1, 0, OUTER_ITERATIONS):
+        for count_reg in (s4, s5):
+            b.move(t1, count_reg)    # committed trip count
+            # Refill this slot for use one unrolled iteration from now.
+            b.slli(t0, s3, 2)
+            b.add(t0, t0, s0)
+            b.lw(count_reg, t0, 0)
+            b.addi(s3, s3, 1)
+            b.andi(s3, s3, len(TRIP_COUNTS) - 1)
+            # Spacer arithmetic, then the value-determined inner loop.
+            b.add(s2, s2, t1)
+            b.slli(t2, s2, 1)
+            b.xor(s2, s2, t2)
+            with b.while_(nez(t1)):
+                b.addi(t1, t1, -1)
+                b.addi(s2, s2, 1)
+    b.halt()
+    return b.build()
+
+
+def main() -> None:
+    program = build_program()
+    machine = machine_for_depth(20)
+    print(f"program: {len(program)} static instructions\n")
+
+    baseline = simulate(program, machine, LevelTwoKind.HYBRID,
+                        warmup_instructions=4000)
+    arvi = simulate(program, machine, LevelTwoKind.ARVI,
+                    value_mode=ValueMode.CURRENT,
+                    warmup_instructions=4000)
+
+    print("--- two-level 2Bc-gskew baseline ---")
+    print(baseline.summary())
+    print("\n--- ARVI second-level predictor ---")
+    print(arvi.summary())
+    print(f"\nIPC change with ARVI: "
+          f"{100 * (arvi.ipc / baseline.ipc - 1):+.1f}%")
+    print("The trip-count register is committed at prediction time, so")
+    print("ARVI indexes the BVIT with its value, and the chain-depth tag")
+    print("identifies the loop iteration: the exit becomes predictable.")
+
+
+if __name__ == "__main__":
+    main()

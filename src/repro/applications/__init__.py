@@ -1,0 +1,49 @@
+"""Applications of on-line dependence tracking (paper Section 3)."""
+
+from repro.applications.chain_length import (
+    ChainLengthObserver,
+    ChainLengthStats,
+    TrailingDependentsCounter,
+)
+from repro.applications.criticality import CriticalityObserver, CriticalityStats
+from repro.applications.decoupled import BexExtractor, BexReport
+from repro.applications.scheduling import (
+    DagNode,
+    ScheduleResult,
+    compare_policies,
+    random_dag,
+    simulate_issue,
+    trailing_dependents,
+)
+from repro.applications.smt_fetch import (
+    SMTResult,
+    ThreadModel,
+    simulate_smt,
+)
+from repro.applications.value_pred import (
+    LastValuePredictor,
+    SelectionReport,
+    run_selective_value_prediction,
+)
+
+__all__ = [
+    "BexExtractor",
+    "BexReport",
+    "ChainLengthObserver",
+    "ChainLengthStats",
+    "CriticalityObserver",
+    "CriticalityStats",
+    "DagNode",
+    "LastValuePredictor",
+    "SMTResult",
+    "ScheduleResult",
+    "SelectionReport",
+    "ThreadModel",
+    "TrailingDependentsCounter",
+    "compare_policies",
+    "random_dag",
+    "run_selective_value_prediction",
+    "simulate_issue",
+    "simulate_smt",
+    "trailing_dependents",
+]

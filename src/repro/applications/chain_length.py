@@ -1,0 +1,111 @@
+"""Dependence-chain length tracking (paper Section 3, "Dynamic scheduling").
+
+The paper notes that adding a small counter per DDT row yields, cycle by
+cycle, the length of the dependence chain feeding each register, and that
+a per-instruction count of *trailing dependents* (how many in-flight
+instructions depend on a given instruction) supports issue priority,
+selective value prediction and criticality estimation.
+
+:class:`TrailingDependentsCounter` maintains exactly that: on every
+allocation it increments the counter of each chain member; committed or
+squashed instructions drop out.  :class:`ChainLengthObserver` plugs into
+the timing engine and records chain-length distributions per instruction
+class.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.ddt import FastDDT
+
+
+class TrailingDependentsCounter:
+    """Counts, per in-flight instruction, its current dependents.
+
+    Mirrors the paper's "small counter added to each row" refinement: the
+    counters are maintained incrementally as instructions enter the DDT.
+    """
+
+    def __init__(self, ddt: FastDDT) -> None:
+        self.ddt = ddt
+        self._dependents: dict[int, int] = {}
+
+    def on_allocate(self, token: int, dest: int | None,
+                    srcs: tuple[int, ...]) -> None:
+        """Call right after ``ddt.allocate`` returned ``token``."""
+        self._dependents[token] = 0
+        if dest is None:
+            return
+        for member in self.ddt.chain_tokens(dest):
+            if member != token and member in self._dependents:
+                self._dependents[member] += 1
+
+    def on_retire(self, token: int) -> int:
+        """Remove a committed/squashed instruction; returns its count."""
+        return self._dependents.pop(token, 0)
+
+    def dependents(self, token: int) -> int:
+        return self._dependents.get(token, 0)
+
+    def longest_chains(self, top: int = 8) -> list[tuple[int, int]]:
+        """(token, dependents) pairs with the most trailing dependents."""
+        ranked = sorted(self._dependents.items(),
+                        key=lambda item: item[1], reverse=True)
+        return ranked[:top]
+
+
+@dataclass
+class ChainLengthStats:
+    histogram: Counter = field(default_factory=Counter)
+    load_histogram: Counter = field(default_factory=Counter)
+    branch_histogram: Counter = field(default_factory=Counter)
+    samples: int = 0
+
+    def record(self, length: int, *, is_load: bool, is_branch: bool) -> None:
+        self.samples += 1
+        self.histogram[length] += 1
+        if is_load:
+            self.load_histogram[length] += 1
+        if is_branch:
+            self.branch_histogram[length] += 1
+
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(k * v for k, v in self.histogram.items()) / self.samples
+
+    def mean_for(self, histogram: Counter) -> float:
+        total = sum(histogram.values())
+        if not total:
+            return 0.0
+        return sum(k * v for k, v in histogram.items()) / total
+
+    def percentile(self, fraction: float) -> int:
+        """Chain length at the given cumulative fraction."""
+        if not self.samples:
+            return 0
+        threshold = fraction * self.samples
+        running = 0
+        for length in sorted(self.histogram):
+            running += self.histogram[length]
+            if running >= threshold:
+                return length
+        return max(self.histogram)
+
+
+class ChainLengthObserver:
+    """Engine observer collecting chain-length distributions.
+
+    Attach via ``PipelineEngine(..., observers=[observer])``; the engine
+    reports each instruction's source-chain length in its TimingRecord.
+    """
+
+    def __init__(self) -> None:
+        self.stats = ChainLengthStats()
+
+    def __call__(self, record, dyn) -> None:
+        self.stats.record(record.chain_length,
+                          is_load=record.is_load,
+                          is_branch=record.is_branch)

@@ -1,0 +1,58 @@
+"""Branch-decoupled execution chain extraction (paper Section 3).
+
+Branch-decoupled architectures run the instructions leading to a branch on
+a separate branch execution unit (BEX) so outcomes are known before the
+main pipeline reaches the branch.  Prior work either tagged chains in the
+compiler [Farcy et al.] or lacked a hardware chain-discovery mechanism
+[Tyagi et al.]; the paper observes the DDT provides the chain directly.
+
+:class:`BexExtractor` is an engine observer that snapshots each branch's
+DDT dependence chain and estimates BEX viability: chains that are a small
+fraction of the instruction window could run ahead on a BEX unit.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.pipeline.engine import TimingRecord
+
+
+@dataclass
+class BexReport:
+    branches: int = 0
+    chain_histogram: Counter = field(default_factory=Counter)
+    decoupleable: int = 0
+
+    def mean_chain_length(self) -> float:
+        if not self.branches:
+            return 0.0
+        total = sum(k * v for k, v in self.chain_histogram.items())
+        return total / self.branches
+
+    @property
+    def decoupleable_fraction(self) -> float:
+        return self.decoupleable / self.branches if self.branches else 0.0
+
+
+class BexExtractor:
+    """Observer estimating how much of the branch stream a BEX could cover.
+
+    A branch is counted *decoupleable* when its dependence chain is no
+    longer than ``max_chain`` instructions — short enough for a small BEX
+    engine to race ahead of the main pipeline.
+    """
+
+    def __init__(self, *, max_chain: int = 8) -> None:
+        self.max_chain = max_chain
+        self.report = BexReport()
+
+    def __call__(self, record: TimingRecord, dyn) -> None:
+        if not record.is_branch:
+            return
+        report = self.report
+        report.branches += 1
+        report.chain_histogram[record.chain_length] += 1
+        if record.chain_length <= self.max_chain:
+            report.decoupleable += 1

@@ -1,0 +1,119 @@
+"""Chain-length-aware issue scheduling (paper Section 3 application).
+
+The paper proposes prioritizing instruction issue by dependence-chain
+properties — e.g. issuing loads with long trailing dependent chains first.
+This module provides a compact issue-queue simulator over explicit
+dependence DAGs and compares three select policies:
+
+* ``oldest-first``     — classic age-ordered select;
+* ``chain-priority``   — most trailing dependents first (DDT counters);
+* ``random``           — pathological baseline.
+
+``makespan`` quantifies the effect; on DAGs with skewed dependent counts,
+chain-priority beats oldest-first whenever issue bandwidth is scarce.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """One instruction in a synthetic dependence DAG."""
+
+    index: int
+    deps: tuple[int, ...]
+    latency: int = 1
+
+
+@dataclass
+class ScheduleResult:
+    policy: str
+    makespan: int
+    issue_order: list[int] = field(default_factory=list)
+
+
+def trailing_dependents(nodes: list[DagNode]) -> list[int]:
+    """Transitive dependent count per node (what the DDT counters track)."""
+    dependents: list[set[int]] = [set() for _ in nodes]
+    for node in reversed(nodes):
+        for dep in node.deps:
+            dependents[dep].add(node.index)
+            dependents[dep] |= dependents[node.index]
+    return [len(deps) for deps in dependents]
+
+
+def simulate_issue(nodes: list[DagNode], *, width: int = 2,
+                   policy: str = "oldest-first",
+                   seed: int = 0) -> ScheduleResult:
+    """Cycle-stepped issue simulation with the given select policy."""
+    if policy not in ("oldest-first", "chain-priority", "random"):
+        raise ValueError(f"unknown policy {policy!r}")
+    rng = random.Random(seed)
+    priority = trailing_dependents(nodes) if policy == "chain-priority" else None
+    finish = [-1] * len(nodes)
+    issued = [False] * len(nodes)
+    order: list[int] = []
+    cycle = 0
+    remaining = len(nodes)
+    while remaining:
+        ready = [
+            node.index for node in nodes
+            if not issued[node.index] and all(
+                finish[dep] >= 0 and finish[dep] <= cycle
+                for dep in node.deps)
+        ]
+        if policy == "chain-priority":
+            ready.sort(key=lambda i: (-priority[i], i))
+        elif policy == "random":
+            rng.shuffle(ready)
+        # oldest-first: ready is already in age order.
+        for index in ready[:width]:
+            issued[index] = True
+            finish[index] = cycle + nodes[index].latency
+            order.append(index)
+            remaining -= 1
+        cycle += 1
+        if cycle > 100 * len(nodes) + 100:
+            raise RuntimeError("scheduling did not converge (cyclic DAG?)")
+    return ScheduleResult(policy=policy,
+                          makespan=max(finish) if finish else 0,
+                          issue_order=order)
+
+
+def random_dag(size: int, *, seed: int = 0, chain_bias: float = 0.6,
+               load_fraction: float = 0.3,
+               load_latency: int = 6) -> list[DagNode]:
+    """Synthetic DAG mixing long serial chains with parallel work.
+
+    ``chain_bias`` is the probability that a node extends an existing
+    chain (serial structure) rather than starting fresh; loads get a
+    longer latency, making select order matter.
+    """
+    rng = random.Random(seed)
+    nodes: list[DagNode] = []
+    for index in range(size):
+        deps: tuple[int, ...] = ()
+        if index and rng.random() < chain_bias:
+            first = rng.randrange(max(0, index - 8), index)
+            deps = (first,)
+            if index > 1 and rng.random() < 0.3:
+                second = rng.randrange(index)
+                if second != first:
+                    deps = (first, second)
+        latency = load_latency if rng.random() < load_fraction else 1
+        nodes.append(DagNode(index=index, deps=deps, latency=latency))
+    return nodes
+
+
+def compare_policies(size: int = 200, *, width: int = 2,
+                     seed: int = 0) -> dict[str, int]:
+    """Makespans of all three policies on the same DAG."""
+    nodes = random_dag(size, seed=seed)
+    return {
+        policy: simulate_issue(nodes, width=width, policy=policy,
+                               seed=seed).makespan
+        for policy in ("oldest-first", "chain-priority", "random")
+    }

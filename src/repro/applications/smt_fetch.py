@@ -1,0 +1,149 @@
+"""SMT fetch policy driven by dependence-chain metrics (paper Section 3).
+
+Tullsen's ICOUNT gives fetch priority to threads with the fewest in-flight
+instructions; the paper argues per-thread DDT chain-length averages are a
+sharper forward-progress signal.  This module models an SMT front end over
+synthetic per-thread instruction streams with explicit dependence
+structure and compares:
+
+* ``round-robin`` — baseline;
+* ``icount``      — fewest in-flight instructions first;
+* ``chain``       — shortest mean dependence chain first (per-thread DDTs).
+
+Throughput (instructions completed per cycle across threads) is the
+figure of merit; chain-based fetch beats ICOUNT when thread behaviour is
+bimodal (some threads serially dependent, others parallel).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ThreadModel:
+    """Synthetic thread: a stream with a serial-dependence probability.
+
+    ``serialness`` approximates the chain structure the per-thread DDT
+    would report: each new instruction extends the thread's current chain
+    with this probability, otherwise it starts a fresh chain.
+    """
+
+    name: str
+    serialness: float
+    op_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.serialness <= 1.0:
+            raise ValueError("serialness must be within [0, 1]")
+
+
+@dataclass
+class _ThreadState:
+    model: ThreadModel
+    in_flight: list[int] = field(default_factory=list)  # completion cycles
+    chain_depth: int = 0
+    chain_lengths: list[int] = field(default_factory=list)
+    completed: int = 0
+
+    def mean_chain(self) -> float:
+        recent = self.chain_lengths[-32:]
+        return sum(recent) / len(recent) if recent else 0.0
+
+
+@dataclass
+class SMTResult:
+    policy: str
+    cycles: int
+    per_thread_completed: dict[str, int]
+
+    @property
+    def throughput(self) -> float:
+        total = sum(self.per_thread_completed.values())
+        return total / self.cycles if self.cycles else 0.0
+
+
+def simulate_smt(threads: list[ThreadModel], *, cycles: int = 2000,
+                 fetch_width: int = 4, window_per_thread: int = 8,
+                 select_threads: int = 1,
+                 policy: str = "icount", seed: int = 0) -> SMTResult:
+    """Fetch-policy simulation; completion is dependence-limited.
+
+    Tullsen-style ``policy.2.W`` selection: each cycle the policy picks
+    ``select_threads`` threads *first*, then fetch proceeds only from
+    them — slots aimed at a thread whose window turns out to be full are
+    lost, which is exactly the waste ICOUNT (and, better, a chain-length
+    metric) is designed to avoid.
+    """
+    if policy not in ("round-robin", "icount", "chain"):
+        raise ValueError(f"unknown policy {policy!r}")
+    rng = random.Random(seed)
+    states = [_ThreadState(model=model) for model in threads]
+    rr_cursor = 0
+
+    for cycle in range(cycles):
+        # Retire completed instructions.
+        for state in states:
+            before = len(state.in_flight)
+            state.in_flight = [c for c in state.in_flight if c > cycle]
+            state.completed += before - len(state.in_flight)
+
+        # Order threads by the selected policy (selection happens before
+        # window occupancy of the chosen threads is "known" to fetch).
+        if policy == "round-robin":
+            ordered = states[rr_cursor:] + states[:rr_cursor]
+            rr_cursor = (rr_cursor + 1) % len(states)
+        elif policy == "icount":
+            ordered = sorted(states, key=lambda s: len(s.in_flight))
+        else:
+            # chain: refine ICOUNT with the per-thread DDT chain metric —
+            # among similarly occupied threads, prefer the one whose
+            # chains are short (it will drain its window fastest).
+            ordered = sorted(
+                states,
+                key=lambda s: len(s.in_flight) + 0.75 * s.mean_chain())
+
+        budget = fetch_width
+        for state in ordered[:select_threads]:
+            if budget == 0:
+                break
+            room = window_per_thread - len(state.in_flight)
+            take = min(budget, max(room, 0))
+            budget -= take
+            for _ in range(take):
+                serial = rng.random() < state.model.serialness
+                if serial:
+                    state.chain_depth += 1
+                else:
+                    state.chain_lengths.append(state.chain_depth)
+                    state.chain_depth = 0
+                # A serially dependent instruction completes after the
+                # chain ahead of it; an independent one after its latency.
+                delay = state.model.op_latency * (
+                    state.chain_depth + 1 if serial else 1)
+                state.in_flight.append(cycle + delay)
+
+    return SMTResult(
+        policy=policy,
+        cycles=cycles,
+        per_thread_completed={s.model.name: s.completed for s in states},
+    )
+
+
+def compare_policies(threads: list[ThreadModel] | None = None,
+                     *, cycles: int = 2000,
+                     seed: int = 0) -> dict[str, float]:
+    """Throughput of the three fetch policies on the same thread mix."""
+    if threads is None:
+        threads = [
+            ThreadModel("parallel-a", serialness=0.15),
+            ThreadModel("parallel-b", serialness=0.25),
+            ThreadModel("serial-a", serialness=0.9),
+            ThreadModel("serial-b", serialness=0.8),
+        ]
+    return {
+        policy: simulate_smt(threads, cycles=cycles, policy=policy,
+                             seed=seed).throughput
+        for policy in ("round-robin", "icount", "chain")
+    }

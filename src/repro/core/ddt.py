@@ -1,0 +1,285 @@
+"""The Data Dependence Table (paper Section 2).
+
+The DDT is a RAM with one row per physical register and one bit-column per
+in-flight instruction.  On rename the destination row is rewritten as::
+
+    DDT[dest] = (DDT[src1] | DDT[src2]) & valid  |  own_bit
+
+so each row always holds the *full transitive* dependence chain of the
+value in that register, restricted to in-flight instructions.  Committing
+an instruction clears its valid bit, removing it from every chain in one
+cycle; a branch misprediction rolls the head pointer back like the ROB.
+
+Two implementations share the same observable semantics:
+
+* :class:`DDT` — hardware-faithful: an explicit circular RAM with head and
+  tail pointers, column clearing before entry reuse, and a valid bit
+  vector.  It reproduces paper Figure 1 bit-for-bit and is used in tests
+  and sizing calculations.
+* :class:`FastDDT` — a sliding-window implementation over monotonically
+  increasing instruction tokens, used by the timing engine (no per-reuse
+  column sweep; a periodic renormalization keeps bitmask widths bounded).
+
+Both identify in-flight instructions by a monotonically increasing integer
+*token* assigned at allocation, so their chains can be compared directly
+(``hypothesis`` equivalence tests do exactly that).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class DDTError(RuntimeError):
+    """Raised on structural misuse (overflow, empty commit, bad rollback)."""
+
+
+class _DDTBase:
+    """Shared query helpers; subclasses implement storage and updates."""
+
+    num_regs: int
+    num_entries: int
+
+    def chain_tokens(self, *regs: int) -> set[int]:
+        raise NotImplementedError
+
+    def allocate(self, dest: int | None, srcs: Iterable[int]) -> int:
+        raise NotImplementedError
+
+    def commit_oldest(self) -> int:
+        raise NotImplementedError
+
+    def rollback_to(self, token: int) -> list[int]:
+        raise NotImplementedError
+
+    @property
+    def in_flight(self) -> int:
+        raise NotImplementedError
+
+    def depends_on(self, reg: int, token: int) -> bool:
+        """Does the value in ``reg`` depend on in-flight instruction ``token``?"""
+        return token in self.chain_tokens(reg)
+
+    def chain_length(self, *regs: int) -> int:
+        """Number of in-flight instructions in the dependence chain."""
+        return len(self.chain_tokens(*regs))
+
+    @property
+    def storage_bits(self) -> int:
+        """Paper Section 2 sizing: ROB entries x physical registers."""
+        return self.num_regs * self.num_entries
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.storage_bits // 8
+
+
+class DDT(_DDTBase):
+    """Hardware-faithful DDT: circular RAM, head/tail, valid vector."""
+
+    def __init__(self, num_regs: int, num_entries: int) -> None:
+        if num_regs < 1 or num_entries < 1:
+            raise ValueError("dimensions must be positive")
+        self.num_regs = num_regs
+        self.num_entries = num_entries
+        # rows[r] bit e set => register r depends on instruction entry e.
+        self.rows = [0] * num_regs
+        self.valid = 0
+        self.head = 0  # next entry to allocate
+        self.tail = 0  # oldest in-flight entry
+        self._count = 0
+        self._entry_token = [-1] * num_entries
+        self._next_token = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self._count
+
+    def allocate(self, dest: int | None, srcs: Iterable[int]) -> int:
+        """Insert a renamed instruction; returns its token.
+
+        ``dest`` is the renamed destination physical register (``None`` for
+        stores/branches, which occupy a column but update no row).
+        """
+        if self._count >= self.num_entries:
+            raise DDTError("DDT full")
+        entry = self.head
+        bit = 1 << entry
+        # Clear the column before reuse (paper: "all bits in the instruction
+        # entry must be cleared" before a new instruction reuses it).
+        clear = ~bit
+        for reg in range(self.num_regs):
+            self.rows[reg] &= clear
+        chain = 0
+        for src in srcs:
+            chain |= self.rows[src]
+        chain &= self.valid
+        if dest is not None:
+            self.rows[dest] = chain | bit
+        self.valid |= bit
+        self.head = (self.head + 1) % self.num_entries
+        self._count += 1
+        token = self._next_token
+        self._entry_token[entry] = token
+        self._next_token += 1
+        return token
+
+    def commit_oldest(self) -> int:
+        """Commit the oldest in-flight instruction; returns its token."""
+        if self._count == 0:
+            raise DDTError("commit on empty DDT")
+        entry = self.tail
+        self.valid &= ~(1 << entry)
+        self.tail = (self.tail + 1) % self.num_entries
+        self._count -= 1
+        return self._entry_token[entry]
+
+    def rollback_to(self, token: int) -> list[int]:
+        """Squash every instruction younger than ``token``.
+
+        Mirrors the ROB rollback on a branch misprediction: the head
+        pointer is walked back and the squashed valid bits cleared.
+        Returns the squashed tokens, youngest first.
+        """
+        squashed: list[int] = []
+        while self._count:
+            newest_entry = (self.head - 1) % self.num_entries
+            newest_token = self._entry_token[newest_entry]
+            if newest_token <= token:
+                break
+            self.valid &= ~(1 << newest_entry)
+            self.head = newest_entry
+            self._count -= 1
+            squashed.append(newest_token)
+        return squashed
+
+    def chain_mask(self, *regs: int) -> int:
+        """Raw entry bitmask of the chain for the given registers."""
+        mask = 0
+        for reg in regs:
+            mask |= self.rows[reg]
+        return mask & self.valid
+
+    def chain_tokens(self, *regs: int) -> set[int]:
+        mask = self.chain_mask(*regs)
+        return {
+            self._entry_token[entry]
+            for entry in range(self.num_entries)
+            if mask >> entry & 1
+        }
+
+    def entry_of_token(self, token: int) -> int | None:
+        """Column index currently holding ``token`` (None if retired)."""
+        for entry in range(self.num_entries):
+            if self._entry_token[entry] == token and self.valid >> entry & 1:
+                return entry
+        return None
+
+    def row_bits(self, reg: int) -> tuple[int, ...]:
+        """Raw row contents as a tuple of column bits (for figure tests)."""
+        return tuple(self.rows[reg] >> e & 1 for e in range(self.num_entries))
+
+
+class FastDDT(_DDTBase):
+    """Sliding-window DDT used by the timing engine.
+
+    Tokens are bit positions relative to ``_base``; a renormalization
+    shifts every row right when the window drifts, keeping Python int
+    widths proportional to the number of in-flight instructions.
+    """
+
+    _RENORM_INTERVAL = 4096
+
+    def __init__(self, num_regs: int, num_entries: int) -> None:
+        if num_regs < 1 or num_entries < 1:
+            raise ValueError("dimensions must be positive")
+        self.num_regs = num_regs
+        self.num_entries = num_entries
+        self.rows = [0] * num_regs
+        self.valid = 0
+        self._base = 0
+        self._next_token = 0
+        self._tail_token = 0  # oldest in-flight token
+
+    @property
+    def in_flight(self) -> int:
+        return self._next_token - self._tail_token
+
+    @property
+    def next_token(self) -> int:
+        """Token the next allocation will receive (the DDT head)."""
+        return self._next_token
+
+    def allocate(self, dest: int | None, srcs: Iterable[int]) -> int:
+        if self.in_flight >= self.num_entries:
+            raise DDTError("DDT full")
+        token = self._next_token
+        pos = token - self._base
+        if pos >= self._RENORM_INTERVAL:
+            self._renormalize()
+            pos = token - self._base
+        bit = 1 << pos
+        rows = self.rows
+        chain = 0
+        for src in srcs:
+            chain |= rows[src]
+        chain &= self.valid
+        if dest is not None:
+            rows[dest] = chain | bit
+        self.valid |= bit
+        self._next_token += 1
+        return token
+
+    def _renormalize(self) -> None:
+        shift = self._tail_token - self._base
+        if shift <= 0:
+            return
+        self.rows = [row >> shift for row in self.rows]
+        self.valid >>= shift
+        self._base = self._tail_token
+
+    def commit_oldest(self) -> int:
+        if self.in_flight == 0:
+            raise DDTError("commit on empty DDT")
+        token = self._tail_token
+        self.valid &= ~(1 << (token - self._base))
+        self._tail_token += 1
+        return token
+
+    def rollback_to(self, token: int) -> list[int]:
+        if token >= self._next_token:
+            return []
+        squashed = list(range(self._next_token - 1, token, -1))
+        keep_below = max(token + 1 - self._base, 0)
+        self.valid &= (1 << keep_below) - 1
+        self._next_token = max(token + 1, self._tail_token)
+        return [t for t in squashed if t >= self._tail_token]
+
+    def chain_mask(self, *regs: int) -> int:
+        mask = 0
+        rows = self.rows
+        for reg in regs:
+            mask |= rows[reg]
+        return mask & self.valid
+
+    def chain_tokens(self, *regs: int) -> set[int]:
+        mask = self.chain_mask(*regs)
+        base = self._base
+        tokens = set()
+        while mask:
+            low = mask & -mask
+            tokens.add(base + low.bit_length() - 1)
+            mask ^= low
+        return tokens
+
+    def oldest_chain_token(self, *regs: int) -> int | None:
+        """Lowest (oldest) token in the chain — used for the depth key.
+
+        Hardware equivalent: leading-one detection over the DDT row with
+        two priority encoders to handle buffer wrap (paper Section 4.5).
+        """
+        mask = self.chain_mask(*regs)
+        if not mask:
+            return None
+        low = mask & -mask
+        return self._base + low.bit_length() - 1

@@ -1,0 +1,66 @@
+"""ARVI hash units (paper Sections 4.3-4.5, Figure 4).
+
+* :func:`bvit_index` — XOR tree over the low ``n`` bits of branch PC and
+  the shadow values of the RSE register set (Figure 4a);
+* :func:`register_set_tag` — 3-bit adder tree over the low bits of the
+  *logical* register ids of the set (Figure 4b), the path signature;
+* :func:`depth_key` — 5-bit maximum instruction span of the dependence
+  chain (Section 4.5), disambiguating loop iterations whose register sets
+  are identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+PC_INDEX_LOW_BIT = 0  # instruction-index PCs: no byte-offset bits to skip
+DEFAULT_INDEX_BITS = 11
+DEFAULT_ID_TAG_BITS = 3
+DEFAULT_DEPTH_BITS = 5
+
+
+def bvit_index(pc: int, values: Iterable[int],
+               index_bits: int = DEFAULT_INDEX_BITS) -> int:
+    """XOR-fold the branch PC and register values into a BVIT index.
+
+    ``values`` are the shadow (or oracle) values of the registers in the
+    RSE set that are available at prediction time; the paper's hardware is
+    an XOR tree that is log2(P) gates deep.
+    """
+    mask = (1 << index_bits) - 1
+    index = (pc >> PC_INDEX_LOW_BIT) & mask
+    for value in values:
+        index ^= value & mask
+    return index
+
+
+def register_set_tag(logical_ids: Iterable[int],
+                     tag_bits: int = DEFAULT_ID_TAG_BITS) -> int:
+    """Sum of the low bits of the logical register ids, modulo 2**bits.
+
+    A full concatenation of ids is impractical in hardware; the paper found
+    a 3-bit sum of low-order logical ids sufficient as a path signature.
+    """
+    mask = (1 << tag_bits) - 1
+    total = 0
+    for logical in logical_ids:
+        total += logical & mask
+    return total & mask
+
+
+def depth_key(branch_token: int, oldest_chain_token: int | None,
+              depth_bits: int = DEFAULT_DEPTH_BITS) -> int:
+    """Maximum number of instructions spanned by the dependence chain.
+
+    ``branch_token`` is the branch's own allocation token (the DDT head);
+    ``oldest_chain_token`` is the furthest-back in-flight instruction in
+    the chain (leading-one detection in hardware).  Saturates at
+    ``2**depth_bits - 1``.
+    """
+    if oldest_chain_token is None:
+        return 0
+    span = branch_token - oldest_chain_token
+    if span < 0:
+        raise ValueError("chain cannot be younger than the branch")
+    limit = (1 << depth_bits) - 1
+    return span if span < limit else limit

@@ -1,0 +1,125 @@
+"""The Register Set Extractor (paper Section 4.2, Figure 3).
+
+Given the DDT dependence-chain bit vector of a branch, the RSE extracts
+the minimal *leaf* register set that generates the compared value(s):
+
+* every chain instruction (except loads) marks its source registers ``S``
+  and its target register ``T`` in its column;
+* enabling the chain's columns discharges per-register bit-lines; register
+  ``r`` lands in the set iff some enabled instruction sourced it and no
+  enabled instruction targeted it (``OUT = bit[0] & ~bit[1]`` — the paper's
+  consolidation function);
+* loads mark nothing: they terminate dependence chains, so a pending
+  load's destination register stays in the set (it is a leaf whose value
+  may be unavailable — the *load branch* case);
+* the branch's own operand registers participate as sources, so a branch
+  whose operand was produced by an already-committed instruction resolves
+  to that operand register itself.
+
+:class:`RSEArray` is the hardware-faithful bit-plane model driven by DDT
+column indices; :class:`ChainInfoTable` is the token-keyed equivalent the
+timing engine uses.  Their extractions agree (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class RSEArray:
+    """Bit-plane RSE paired with the hardware-faithful :class:`DDT`.
+
+    Cells are addressed (register row, instruction-entry column) exactly
+    like the DDT; two bit-planes hold the S and T marks.
+    """
+
+    def __init__(self, num_regs: int, num_entries: int) -> None:
+        self.num_regs = num_regs
+        self.num_entries = num_entries
+        # s_marks[r] bit e => entry e uses register r as a source.
+        self.s_marks = [0] * num_regs
+        self.t_marks = [0] * num_regs
+
+    def insert(self, entry: int, dest: int | None, srcs: Iterable[int],
+               *, is_load: bool) -> None:
+        """Mark S/T cells for the instruction placed in ``entry``.
+
+        The column is cleared first (entry reuse mirrors the DDT).  Loads
+        mark neither sources nor targets (chain terminators).
+        """
+        clear = ~(1 << entry)
+        for reg in range(self.num_regs):
+            self.s_marks[reg] &= clear
+            self.t_marks[reg] &= clear
+        if is_load:
+            return
+        bit = 1 << entry
+        for src in srcs:
+            self.s_marks[src] |= bit
+        if dest is not None:
+            self.t_marks[dest] |= bit
+
+    def extract(self, enable_mask: int,
+                branch_srcs: Iterable[int] = ()) -> set[int]:
+        """Register set for a chain ``enable_mask`` (a DDT chain bitmask)."""
+        result = set(branch_srcs)
+        for reg in range(self.num_regs):
+            if self.s_marks[reg] & enable_mask:
+                result.add(reg)
+        return {
+            reg for reg in result
+            if not self.t_marks[reg] & enable_mask
+        }
+
+    def cell(self, reg: int, entry: int) -> str:
+        """Cell encoding for display/tests: 'S', 'T' or '' (unused)."""
+        if self.t_marks[reg] >> entry & 1:
+            return "T"
+        if self.s_marks[reg] >> entry & 1:
+            return "S"
+        return ""
+
+    @property
+    def storage_bits(self) -> int:
+        """Two bits per cell (paper: encodings Unused/Source/Target)."""
+        return 2 * self.num_regs * self.num_entries
+
+
+class ChainInfoTable:
+    """Token-keyed chain metadata used by the engine with :class:`FastDDT`.
+
+    Stores per-instruction ``(dest, srcs, is_load)`` and extracts the leaf
+    register set for a set of enabled tokens with the same semantics as
+    :class:`RSEArray`.
+    """
+
+    def __init__(self) -> None:
+        self._info: dict[int, tuple[int | None, tuple[int, ...], bool]] = {}
+
+    def __len__(self) -> int:
+        return len(self._info)
+
+    def insert(self, token: int, dest: int | None, srcs: Iterable[int],
+               *, is_load: bool) -> None:
+        self._info[token] = (dest, tuple(srcs), is_load)
+
+    def discard(self, token: int) -> None:
+        """Drop metadata for a committed or squashed instruction."""
+        self._info.pop(token, None)
+
+    def info(self, token: int) -> tuple[int | None, tuple[int, ...], bool]:
+        return self._info[token]
+
+    def extract(self, enabled_tokens: Iterable[int],
+                branch_srcs: Iterable[int] = ()) -> set[int]:
+        sources: set[int] = set(branch_srcs)
+        targets: set[int] = set()
+        info = self._info
+        for token in enabled_tokens:
+            dest, srcs, is_load = info[token]
+            if is_load:
+                continue
+            sources.update(srcs)
+            if dest is not None:
+                targets.add(dest)
+        return sources - targets

@@ -1,0 +1,41 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.experiments.figure5 import Figure5Data, run_figure5
+from repro.experiments.figure6 import Figure6Data, run_figure6
+from repro.experiments.report import (
+    arithmetic_mean,
+    format_table,
+    geometric_mean,
+)
+from repro.experiments.runner import (
+    CONFIGURATIONS,
+    ExperimentPoint,
+    run_point,
+    run_suite,
+)
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    storage_summary,
+)
+
+__all__ = [
+    "CONFIGURATIONS",
+    "ExperimentPoint",
+    "Figure5Data",
+    "Figure6Data",
+    "arithmetic_mean",
+    "format_table",
+    "geometric_mean",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "run_figure5",
+    "run_figure6",
+    "run_point",
+    "run_suite",
+    "storage_summary",
+]

@@ -1,0 +1,64 @@
+"""Paper Figure 5: calculated vs load branches under ARVI current value.
+
+* Figure 5(a): fraction of conditional branches that are *load branches*
+  (dependence chain terminating in a pending load) per benchmark, for the
+  20/40/60-stage machines.  The paper observes a large fraction that grows
+  slightly with pipeline depth.
+* Figure 5(b): prediction accuracy of calculated vs load branches
+  (20-stage machine) — calculated branches predict better everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentPoint, run_point
+from repro.pipeline.config import PIPELINE_DEPTHS
+from repro.workloads.registry import BENCHMARKS
+
+
+@dataclass
+class Figure5Data:
+    load_rates: dict[tuple[str, int], float] = field(default_factory=dict)
+    calc_accuracy: dict[str, float] = field(default_factory=dict)
+    load_accuracy: dict[str, float] = field(default_factory=dict)
+
+    def figure5a_rows(self):
+        return [
+            [bench] + [self.load_rates[(bench, depth)]
+                       for depth in PIPELINE_DEPTHS]
+            for bench in BENCHMARKS
+        ]
+
+    def figure5b_rows(self):
+        return [
+            [bench, self.load_accuracy[bench], self.calc_accuracy[bench]]
+            for bench in BENCHMARKS
+        ]
+
+    def render(self) -> str:
+        fig_a = format_table(
+            ["benchmark", "20-cycle", "40-cycle", "60-cycle"],
+            self.figure5a_rows(),
+            title="Figure 5(a): fraction of load branches")
+        fig_b = format_table(
+            ["benchmark", "load branch", "calc branch"],
+            self.figure5b_rows(),
+            title="Figure 5(b): prediction accuracy by class (20-stage)")
+        return f"{fig_a}\n\n{fig_b}"
+
+
+def run_figure5(*, scale: float | None = None, warmup: int | None = None,
+                depths=PIPELINE_DEPTHS, benchmarks=BENCHMARKS) -> Figure5Data:
+    data = Figure5Data()
+    for benchmark in benchmarks:
+        for depth in depths:
+            result = run_point(
+                ExperimentPoint(benchmark, "current", depth),
+                scale=scale, warmup=warmup)
+            data.load_rates[(benchmark, depth)] = result.load_branch_rate
+            if depth == depths[0]:
+                data.calc_accuracy[benchmark] = result.calculated.accuracy
+                data.load_accuracy[benchmark] = result.load.accuracy
+    return data

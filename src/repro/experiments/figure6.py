@@ -1,0 +1,95 @@
+"""Paper Figure 6: prediction accuracy and normalized IPC, 4 configs x 3 depths.
+
+For each pipeline depth (20/40/60), the paper plots per benchmark:
+
+* (a,c,e) prediction accuracy of the two-level 2Bc-gskew baseline and the
+  three ARVI configurations (current value / load back / perfect value);
+* (b,d,f) IPC normalized to the two-level baseline, with the suite
+  average as the headline (paper: +12.6% at 20 stages for current value,
+  +15.6% at 60 stages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.report import arithmetic_mean, format_table
+from repro.experiments.runner import (
+    CONFIGURATIONS,
+    ExperimentPoint,
+    run_point,
+)
+from repro.pipeline.stats import SimulationResult
+from repro.workloads.registry import BENCHMARKS
+
+
+@dataclass
+class Figure6Data:
+    depth: int
+    results: dict[tuple[str, str], SimulationResult] = field(
+        default_factory=dict)
+
+    # -- series ------------------------------------------------------------
+
+    def accuracy(self, benchmark: str, configuration: str) -> float:
+        return self.results[(benchmark, configuration)].prediction_accuracy
+
+    def normalized_ipc(self, benchmark: str, configuration: str) -> float:
+        base = self.results[(benchmark, "baseline")].ipc
+        return self.results[(benchmark, configuration)].ipc / base
+
+    def benchmarks(self) -> list[str]:
+        return sorted({bench for bench, _ in self.results})
+
+    def mean_normalized_ipc(self, configuration: str) -> float:
+        return arithmetic_mean([
+            self.normalized_ipc(bench, configuration)
+            for bench in self.benchmarks()
+        ])
+
+    def mean_ipc_gain_percent(self, configuration: str) -> float:
+        return 100.0 * (self.mean_normalized_ipc(configuration) - 1.0)
+
+    # -- rendering ----------------------------------------------------------
+
+    def accuracy_rows(self):
+        return [
+            [bench] + [self.accuracy(bench, config)
+                       for config in CONFIGURATIONS]
+            for bench in self.benchmarks()
+        ]
+
+    def ipc_rows(self):
+        rows = [
+            [bench] + [self.normalized_ipc(bench, config)
+                       for config in CONFIGURATIONS]
+            for bench in self.benchmarks()
+        ]
+        rows.append(["average"] + [self.mean_normalized_ipc(config)
+                                   for config in CONFIGURATIONS])
+        return rows
+
+    def render(self) -> str:
+        headers = ["benchmark", "2-level gskew", "arvi current",
+                   "arvi load back", "arvi perfect"]
+        acc = format_table(
+            headers, self.accuracy_rows(),
+            title=f"Figure 6: prediction accuracy, {self.depth}-stage",
+            float_format="{:.4f}")
+        ipc = format_table(
+            headers, self.ipc_rows(),
+            title=f"Figure 6: normalized IPC, {self.depth}-stage")
+        return f"{acc}\n\n{ipc}"
+
+
+def run_figure6(depth: int, *, scale: float | None = None,
+                warmup: int | None = None,
+                benchmarks=BENCHMARKS,
+                configurations=CONFIGURATIONS) -> Figure6Data:
+    data = Figure6Data(depth=depth)
+    for benchmark in benchmarks:
+        for configuration in configurations:
+            data.results[(benchmark, configuration)] = run_point(
+                ExperimentPoint(benchmark, configuration, depth),
+                scale=scale, warmup=warmup)
+    return data

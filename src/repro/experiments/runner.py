@@ -1,0 +1,90 @@
+"""Experiment runner: one (benchmark, configuration, depth) simulation.
+
+The four configurations match paper Section 5:
+
+* ``baseline``   — two-level 2Bc-gskew (L1 4 KB + L2 32 KB hybrid);
+* ``current``    — ARVI level 2 with committed (current) values;
+* ``load back``  — ARVI with aggressively hoisted loads;
+* ``perfect``    — ARVI with oracle values (upper bound).
+
+``REPRO_SCALE`` / ``REPRO_WARMUP`` environment variables rescale every
+experiment (the benchmark harness honours them), since a pure-Python
+timing simulator cannot run the paper's 100M-instruction windows.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.arvi import ARVIConfig, ValueMode
+from repro.pipeline.config import MachineConfig, machine_for_depth
+from repro.pipeline.engine import PipelineEngine, build_predictor
+from repro.pipeline.stats import SimulationResult
+from repro.predictors.twolevel import LevelTwoKind
+from repro.workloads.registry import BENCHMARKS, get_program
+
+CONFIGURATIONS = ("baseline", "current", "load back", "perfect")
+
+_VALUE_MODES = {
+    "current": ValueMode.CURRENT,
+    "load back": ValueMode.LOAD_BACK,
+    "perfect": ValueMode.PERFECT,
+}
+
+
+def default_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def default_warmup() -> int:
+    return int(os.environ.get("REPRO_WARMUP", "10000"))
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One cell of a paper figure: benchmark x configuration x depth."""
+
+    benchmark: str
+    configuration: str
+    pipeline_depth: int
+
+
+def run_point(point: ExperimentPoint, *, scale: float | None = None,
+              warmup: int | None = None, seed: int = 1,
+              arvi_config: ARVIConfig | None = None) -> SimulationResult:
+    """Simulate one experiment point and return its statistics."""
+    if point.configuration not in CONFIGURATIONS:
+        raise ValueError(f"unknown configuration {point.configuration!r}")
+    scale = default_scale() if scale is None else scale
+    warmup = default_warmup() if warmup is None else warmup
+    program = get_program(point.benchmark, scale=scale, seed=seed)
+    config = machine_for_depth(point.pipeline_depth)
+
+    if point.configuration == "baseline":
+        predictor = build_predictor(LevelTwoKind.HYBRID, config)
+        mode = ValueMode.CURRENT
+    else:
+        predictor = build_predictor(LevelTwoKind.ARVI, config, arvi_config)
+        mode = _VALUE_MODES[point.configuration]
+
+    engine = PipelineEngine(program, config, predictor,
+                            value_mode=mode, warmup_instructions=warmup)
+    result = engine.run()
+    result.configuration = point.configuration
+    return result
+
+
+def run_suite(configurations=CONFIGURATIONS, depths=(20,),
+              benchmarks=BENCHMARKS, *, scale: float | None = None,
+              warmup: int | None = None,
+              seed: int = 1) -> dict[tuple[str, str, int], SimulationResult]:
+    """Run a grid of experiment points; keyed (benchmark, config, depth)."""
+    results: dict[tuple[str, str, int], SimulationResult] = {}
+    for depth in depths:
+        for benchmark in benchmarks:
+            for configuration in configurations:
+                point = ExperimentPoint(benchmark, configuration, depth)
+                results[(benchmark, configuration, depth)] = run_point(
+                    point, scale=scale, warmup=warmup, seed=seed)
+    return results

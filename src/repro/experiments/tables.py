@@ -1,0 +1,97 @@
+"""Paper Tables 1-4 rendered from the implementation (not hard-coded prose).
+
+Table 1 is the ARVI access-step list (structural); Table 2 the machine
+parameters; Table 3 the benchmark suite; Table 4 the predictor sizes and
+access latencies.  Each renderer pulls from the live configuration objects
+so a config change is reflected in the regenerated table.
+"""
+
+from __future__ import annotations
+
+from repro.core.arvi import ARVIConfig, ARVIPredictor
+from repro.core.ddt import DDT
+from repro.core.shadow import ShadowMapTable, ShadowRegisterFile
+from repro.experiments.report import format_table
+from repro.pipeline.config import (
+    MachineConfig,
+    machine_for_depth,
+    table2_rows,
+    table4_rows,
+)
+from repro.predictors.gskew import level1_gskew, level2_gskew
+from repro.workloads.registry import table3_rows
+
+TABLE1_STEPS = (
+    ("1", "Read the data dependence chain from the DDT for the branch"),
+    ("2", "Generate the register set from the dependence chain (RSE)"),
+    ("3a", "Form a BVIT index from the XOR hash of register values"),
+    ("3b", "Form a sum of the register set identifiers"),
+    ("4", "Index the BVIT, compare the ID and depth tags, return a prediction"),
+)
+
+
+def render_table1() -> str:
+    return format_table(["step", "action"], TABLE1_STEPS,
+                        title="Table 1: ARVI access details")
+
+
+def render_table2(config: MachineConfig | None = None) -> str:
+    config = config or machine_for_depth(20)
+    return format_table(["parameter", "value"], table2_rows(config),
+                        title="Table 2: architectural parameters")
+
+
+def render_table3() -> str:
+    return format_table(
+        ["benchmark", "data set", "paper window", "synthetic kernel"],
+        table3_rows(),
+        title="Table 3: SPEC95 integer benchmarks (synthetic stand-ins)")
+
+
+def render_table4() -> str:
+    rows = [
+        [name, size, f"{l20}", f"{l40}", f"{l60}"]
+        for name, size, l20, l40, l60 in table4_rows()
+    ]
+    return format_table(
+        ["predictor", "size", "20-cycle", "40-cycle", "60-cycle"],
+        rows, title="Table 4: predictor access latencies (cycles)")
+
+
+def storage_summary(config: MachineConfig | None = None) -> str:
+    """Section 2 / Section 4 hardware sizing claims, recomputed.
+
+    The paper's DDT example is an Alpha-21264-like machine: 80 ROB entries
+    x 72 physical integer registers = 5760 bits = 720 bytes of RAM (the
+    paper rounds to 730), plus an 80-bit valid vector; the shadow register
+    file is 72 x 11 = 792 bits.
+    """
+    config = config or machine_for_depth(20)
+    alpha_ddt = DDT(num_regs=72, num_entries=80)
+    predictor = ARVIPredictor(ARVIConfig())
+    eval_ddt = DDT(num_regs=config.num_phys_regs,
+                   num_entries=config.rob_entries)
+    shadow_vals = ShadowRegisterFile(config.num_phys_regs)
+    shadow_map = ShadowMapTable(config.num_phys_regs)
+    l1 = level1_gskew()
+    l2 = level2_gskew()
+    rows = [
+        ("DDT (21264: 72 pregs x 80 ROB)",
+         f"{alpha_ddt.storage_bits} bits = {alpha_ddt.storage_bytes} bytes"),
+        ("Shadow register file (72 x 11b)",
+         f"{ShadowRegisterFile(72).storage_bits} bits"),
+        ("DDT (evaluated machine)",
+         f"{eval_ddt.storage_bits} bits = {eval_ddt.storage_bytes} bytes"),
+        ("Shadow register file (evaluated)",
+         f"{shadow_vals.storage_bits} bits"),
+        ("Shadow map table (evaluated)",
+         f"{shadow_map.storage_bits} bits"),
+        ("BVIT", f"{predictor.bvit.storage_bits} bits = "
+         f"{predictor.bvit.storage_bits // 8192} KB"),
+        ("ARVI total (BVIT + tracking)",
+         f"{predictor.storage_bits(eval_ddt.storage_bits, shadow_vals.storage_bits + shadow_map.storage_bits) // 8192} KB"),
+        ("Level-1 2Bc-gskew", f"{l1.storage_bits // 8192} KB"),
+        ("Level-2 2Bc-gskew", f"{l2.storage_bits // 8192} KB"),
+    ]
+    return format_table(["structure", "storage"], rows,
+                        title="Hardware storage summary (Sections 2 and 4)")

@@ -1,0 +1,180 @@
+"""Two-pass text assembler.
+
+The programmatic :class:`~repro.isa.builder.AsmBuilder` is the primary way
+to author workloads; this module additionally accepts classic assembler
+text, which is convenient for tests, examples and quick experiments::
+
+    .data
+    table:  .word 1, 2, 3
+    buf:    .space 16
+    .text
+    main:   la   $t0, table
+            lw   $t1, 0($t0)
+    loop:   addi $t1, $t1, -1
+            bne  $t1, $zero, loop
+            halt
+
+Supported directives: ``.text``, ``.data``, ``.word v, ...``,
+``.space n_bytes``.  Pseudo-instructions: ``li``, ``la``, ``move``, ``neg``,
+``not``, ``b`` (unconditional branch).  Comments start with ``#`` or ``;``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa import regs
+from repro.isa.builder import AsmBuilder
+from repro.isa.instructions import Instruction, Op, parse_reg
+from repro.isa.program import Program
+
+_MEM_RE = re.compile(r"^(-?\w+)\s*\(\s*(\$?\w+)\s*\)$")
+
+_RRR_OPS = {
+    "add": Op.ADD, "sub": Op.SUB, "and": Op.AND, "or": Op.OR,
+    "xor": Op.XOR, "nor": Op.NOR, "sll": Op.SLL, "srl": Op.SRL,
+    "sra": Op.SRA, "slt": Op.SLT, "sltu": Op.SLTU, "mult": Op.MULT,
+    "div": Op.DIV, "rem": Op.REM,
+}
+_RRI_OPS = {
+    "addi": Op.ADDI, "andi": Op.ANDI, "ori": Op.ORI, "xori": Op.XORI,
+    "slti": Op.SLTI, "slli": Op.SLLI, "srli": Op.SRLI, "srai": Op.SRAI,
+}
+_LOAD_OPS = {"lw": Op.LW, "lb": Op.LB, "lbu": Op.LBU}
+_STORE_OPS = {"sw": Op.SW, "sb": Op.SB}
+_BRANCH_OPS = {
+    "beq": Op.BEQ, "bne": Op.BNE, "blt": Op.BLT, "bge": Op.BGE,
+    "ble": Op.BLE, "bgt": Op.BGT,
+}
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly input, with line information."""
+
+    def __init__(self, lineno: int, line: str, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}: {line.strip()!r}")
+        self.lineno = lineno
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise ValueError(f"bad integer {token!r}") from exc
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [tok.strip() for tok in rest.split(",")] if rest.strip() else []
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Assemble source text into a :class:`Program`."""
+    builder = AsmBuilder(name=name)
+    in_data = False
+    pending_data_label: str | None = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            # Leading labels (possibly several, e.g. "a: b: add ...").
+            while True:
+                match = re.match(r"^(\.?\w+)\s*:\s*(.*)$", line)
+                if not match:
+                    break
+                label, line = match.group(1), match.group(2).strip()
+                if in_data:
+                    pending_data_label = label
+                else:
+                    builder.label(label)
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+
+            if mnemonic == ".text":
+                in_data = False
+            elif mnemonic == ".data":
+                in_data = True
+            elif mnemonic == ".word":
+                values = [_parse_int(tok) for tok in _split_operands(rest)]
+                builder.data_word(pending_data_label, *values)
+                pending_data_label = None
+            elif mnemonic == ".space":
+                nbytes = _parse_int(rest)
+                if nbytes % 4:
+                    raise ValueError(".space must be word aligned")
+                builder.data_space(pending_data_label, nbytes // 4)
+                pending_data_label = None
+            elif in_data:
+                raise ValueError("instruction inside .data section")
+            else:
+                _assemble_instruction(builder, mnemonic, rest)
+        except AssemblyError:
+            raise
+        except Exception as exc:
+            raise AssemblyError(lineno, raw, str(exc)) from exc
+
+    return builder.build()
+
+
+def _assemble_instruction(builder: AsmBuilder, mnemonic: str,
+                          rest: str) -> None:
+    ops = _split_operands(rest)
+
+    if mnemonic in _RRR_OPS:
+        rd, rs1, rs2 = (parse_reg(tok) for tok in ops)
+        builder.emit(Instruction(_RRR_OPS[mnemonic], rd=rd, rs1=rs1, rs2=rs2))
+    elif mnemonic in _RRI_OPS:
+        rd, rs1 = parse_reg(ops[0]), parse_reg(ops[1])
+        builder.emit(Instruction(_RRI_OPS[mnemonic], rd=rd, rs1=rs1,
+                                 imm=_parse_int(ops[2])))
+    elif mnemonic == "lui":
+        builder.lui(parse_reg(ops[0]), _parse_int(ops[1]))
+    elif mnemonic in _LOAD_OPS:
+        rd = parse_reg(ops[0])
+        offset, base = _parse_mem_operand(ops[1])
+        builder.emit(Instruction(_LOAD_OPS[mnemonic], rd=rd, rs1=base,
+                                 imm=offset))
+    elif mnemonic in _STORE_OPS:
+        rt = parse_reg(ops[0])
+        offset, base = _parse_mem_operand(ops[1])
+        builder.emit(Instruction(_STORE_OPS[mnemonic], rs1=base, rs2=rt,
+                                 imm=offset))
+    elif mnemonic in _BRANCH_OPS:
+        rs1, rs2 = parse_reg(ops[0]), parse_reg(ops[1])
+        builder.emit(Instruction(_BRANCH_OPS[mnemonic], rs1=rs1, rs2=rs2,
+                                 target=ops[2]))
+    elif mnemonic in ("j", "b"):
+        builder.j(ops[0])
+    elif mnemonic == "jal":
+        builder.jal(ops[0])
+    elif mnemonic == "jr":
+        builder.jr(parse_reg(ops[0]) if ops else regs.ra)
+    elif mnemonic == "li":
+        builder.li(parse_reg(ops[0]), _parse_int(ops[1]))
+    elif mnemonic == "la":
+        builder.la(parse_reg(ops[0]), ops[1])
+    elif mnemonic == "move":
+        builder.move(parse_reg(ops[0]), parse_reg(ops[1]))
+    elif mnemonic == "neg":
+        builder.neg(parse_reg(ops[0]), parse_reg(ops[1]))
+    elif mnemonic == "not":
+        builder.not_(parse_reg(ops[0]), parse_reg(ops[1]))
+    elif mnemonic == "nop":
+        builder.nop()
+    elif mnemonic == "halt":
+        builder.halt()
+    else:
+        raise ValueError(f"unknown mnemonic {mnemonic!r}")
+
+
+def _parse_mem_operand(token: str) -> tuple[int, int]:
+    """Parse ``offset(base)`` into (offset, base register)."""
+    match = _MEM_RE.match(token.strip())
+    if not match:
+        raise ValueError(f"bad memory operand {token!r}")
+    return _parse_int(match.group(1)), parse_reg(match.group(2))

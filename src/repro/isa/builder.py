@@ -1,0 +1,524 @@
+"""Structured assembly builder.
+
+``AsmBuilder`` emits instructions programmatically and layers structured
+control flow (``if_`` / ``ifelse`` / ``while_`` / ``loop`` / ``for_range``)
+and function scaffolding (``func`` / ``call`` / ``ret``) on top of raw
+opcode emitters.  The synthetic SPEC95-int workloads are written against
+this API.
+
+Conditions are lightweight ``Cond`` objects built by the ``eq``/``ne``/
+``lt``/``ge``/``le``/``gt`` helpers; an integer right-hand side is
+materialized into the reserved scratch register ``$at`` at the comparison
+point (inside the loop for ``while_``), so loop-carried conditions against
+immediates behave as expected.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+from repro.isa import regs
+from repro.isa.instructions import (
+    NEGATED_BRANCH,
+    Instruction,
+    Op,
+    validate,
+)
+from repro.isa.program import DATA_BASE, DEFAULT_MEMORY_BYTES, Program
+
+
+@dataclass(frozen=True)
+class Cond:
+    """A branch condition that is true when ``op(rs, rt)`` holds."""
+
+    op: Op
+    rs: int
+    rt: int | None = None
+    imm: int | None = None  # immediate RHS, materialized into $at
+
+    def materialize(self, builder: "AsmBuilder") -> tuple[Op, int, int]:
+        if self.rt is not None:
+            return self.op, self.rs, self.rt
+        builder.li(regs.at, self.imm or 0)
+        return self.op, self.rs, regs.at
+
+
+def _cond(op: Op, rs: int, rhs: int | None, *, is_imm: bool) -> Cond:
+    if is_imm:
+        return Cond(op, rs, rt=None, imm=rhs)
+    return Cond(op, rs, rt=rhs)
+
+
+def eq(rs: int, rhs: int, *, imm: bool = False) -> Cond:
+    return _cond(Op.BEQ, rs, rhs, is_imm=imm)
+
+
+def ne(rs: int, rhs: int, *, imm: bool = False) -> Cond:
+    return _cond(Op.BNE, rs, rhs, is_imm=imm)
+
+
+def lt(rs: int, rhs: int, *, imm: bool = False) -> Cond:
+    return _cond(Op.BLT, rs, rhs, is_imm=imm)
+
+
+def ge(rs: int, rhs: int, *, imm: bool = False) -> Cond:
+    return _cond(Op.BGE, rs, rhs, is_imm=imm)
+
+
+def le(rs: int, rhs: int, *, imm: bool = False) -> Cond:
+    return _cond(Op.BLE, rs, rhs, is_imm=imm)
+
+
+def gt(rs: int, rhs: int, *, imm: bool = False) -> Cond:
+    return _cond(Op.BGT, rs, rhs, is_imm=imm)
+
+
+def eqz(rs: int) -> Cond:
+    return Cond(Op.BEQ, rs, rt=regs.zero)
+
+
+def nez(rs: int) -> Cond:
+    return Cond(Op.BNE, rs, rt=regs.zero)
+
+
+class IfElseBlock:
+    """Context manager for an if/else region; see ``AsmBuilder.ifelse``."""
+
+    def __init__(self, builder: "AsmBuilder", cond: Cond) -> None:
+        self._b = builder
+        self._cond = cond
+        self._else_label = builder.new_label("else")
+        self._end_label = builder.new_label("endif")
+        self._has_else = False
+
+    def __enter__(self) -> "IfElseBlock":
+        op, rs, rt = self._cond.materialize(self._b)
+        self._b.emit(Instruction(NEGATED_BRANCH[op], rs1=rs, rs2=rt,
+                                 target=self._else_label))
+        return self
+
+    def else_(self) -> None:
+        if self._has_else:
+            raise RuntimeError("else_() called twice")
+        self._has_else = True
+        self._b.j(self._end_label)
+        self._b.label(self._else_label)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return
+        if not self._has_else:
+            self._b.label(self._else_label)
+        self._b.label(self._end_label)
+
+
+@dataclass
+class _LoopFrame:
+    top_label: str
+    end_label: str
+    continue_label: str
+
+
+@dataclass
+class _FuncFrame:
+    name: str
+    saved: tuple[int, ...]
+    end_label: str
+
+
+class AsmBuilder:
+    """Incrementally builds a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self, name: str = "program",
+                 memory_bytes: int = DEFAULT_MEMORY_BYTES) -> None:
+        self.name = name
+        self.memory_bytes = memory_bytes
+        self._insts: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._data_words: dict[int, int] = {}
+        self._data_labels: dict[str, int] = {}
+        self._data_cursor = DATA_BASE
+        self._label_counter = 0
+        self._loop_stack: list[_LoopFrame] = []
+        self._func_stack: list[_FuncFrame] = []
+
+    # -- label / emission machinery -----------------------------------------
+
+    def new_label(self, prefix: str = "L") -> str:
+        self._label_counter += 1
+        return f".{prefix}_{self._label_counter}"
+
+    def label(self, name: str) -> str:
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._insts)
+        return name
+
+    def emit(self, inst: Instruction) -> Instruction:
+        self._insts.append(inst)
+        return inst
+
+    @property
+    def pc(self) -> int:
+        return len(self._insts)
+
+    # -- data segment --------------------------------------------------------
+
+    def data_word(self, label: str | None, *values: int) -> int:
+        """Allocate consecutive initialized words; returns the base address."""
+        base = self._data_cursor
+        for value in values:
+            self._data_words[self._data_cursor] = value & 0xFFFFFFFF
+            self._data_cursor += 4
+        if label is not None:
+            self._bind_data_label(label, base)
+        return base
+
+    def data_space(self, label: str | None, n_words: int) -> int:
+        """Allocate zero-initialized space; returns the base address."""
+        base = self._data_cursor
+        self._data_cursor += 4 * n_words
+        if label is not None:
+            self._bind_data_label(label, base)
+        return base
+
+    def _bind_data_label(self, label: str, addr: int) -> None:
+        if label in self._data_labels:
+            raise ValueError(f"duplicate data label {label!r}")
+        self._data_labels[label] = addr
+
+    def data_addr(self, label: str) -> int:
+        return self._data_labels[label]
+
+    def set_data_word(self, addr: int, value: int) -> None:
+        """Overwrite an already-allocated data word (e.g. to link nodes
+        whose addresses were only known after allocation)."""
+        if addr % 4:
+            raise ValueError(f"unaligned data word at {addr:#x}")
+        if not DATA_BASE <= addr < self._data_cursor:
+            raise ValueError(f"word at {addr:#x} was never allocated")
+        self._data_words[addr] = value & 0xFFFFFFFF
+
+    # -- raw ALU emitters ----------------------------------------------------
+
+    def _rrr(self, op: Op, rd: int, rs1: int, rs2: int) -> Instruction:
+        return self.emit(Instruction(op, rd=rd, rs1=rs1, rs2=rs2))
+
+    def add(self, rd, rs1, rs2):
+        return self._rrr(Op.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        return self._rrr(Op.SUB, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        return self._rrr(Op.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        return self._rrr(Op.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        return self._rrr(Op.XOR, rd, rs1, rs2)
+
+    def nor(self, rd, rs1, rs2):
+        return self._rrr(Op.NOR, rd, rs1, rs2)
+
+    def sll(self, rd, rs1, rs2):
+        return self._rrr(Op.SLL, rd, rs1, rs2)
+
+    def srl(self, rd, rs1, rs2):
+        return self._rrr(Op.SRL, rd, rs1, rs2)
+
+    def sra(self, rd, rs1, rs2):
+        return self._rrr(Op.SRA, rd, rs1, rs2)
+
+    def slt(self, rd, rs1, rs2):
+        return self._rrr(Op.SLT, rd, rs1, rs2)
+
+    def sltu(self, rd, rs1, rs2):
+        return self._rrr(Op.SLTU, rd, rs1, rs2)
+
+    def mult(self, rd, rs1, rs2):
+        return self._rrr(Op.MULT, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        return self._rrr(Op.DIV, rd, rs1, rs2)
+
+    def rem(self, rd, rs1, rs2):
+        return self._rrr(Op.REM, rd, rs1, rs2)
+
+    def _rri(self, op: Op, rd: int, rs1: int, imm: int) -> Instruction:
+        return self.emit(Instruction(op, rd=rd, rs1=rs1, imm=imm))
+
+    def addi(self, rd, rs1, imm):
+        return self._rri(Op.ADDI, rd, rs1, imm)
+
+    def andi(self, rd, rs1, imm):
+        return self._rri(Op.ANDI, rd, rs1, imm)
+
+    def ori(self, rd, rs1, imm):
+        return self._rri(Op.ORI, rd, rs1, imm)
+
+    def xori(self, rd, rs1, imm):
+        return self._rri(Op.XORI, rd, rs1, imm)
+
+    def slti(self, rd, rs1, imm):
+        return self._rri(Op.SLTI, rd, rs1, imm)
+
+    def slli(self, rd, rs1, imm):
+        return self._rri(Op.SLLI, rd, rs1, imm)
+
+    def srli(self, rd, rs1, imm):
+        return self._rri(Op.SRLI, rd, rs1, imm)
+
+    def srai(self, rd, rs1, imm):
+        return self._rri(Op.SRAI, rd, rs1, imm)
+
+    def lui(self, rd, imm):
+        return self.emit(Instruction(Op.LUI, rd=rd, imm=imm))
+
+    # -- memory emitters -------------------------------------------------------
+
+    def lw(self, rd, base, offset=0):
+        return self.emit(Instruction(Op.LW, rd=rd, rs1=base, imm=offset))
+
+    def lb(self, rd, base, offset=0):
+        return self.emit(Instruction(Op.LB, rd=rd, rs1=base, imm=offset))
+
+    def lbu(self, rd, base, offset=0):
+        return self.emit(Instruction(Op.LBU, rd=rd, rs1=base, imm=offset))
+
+    def sw(self, rt, base, offset=0):
+        return self.emit(Instruction(Op.SW, rs1=base, rs2=rt, imm=offset))
+
+    def sb(self, rt, base, offset=0):
+        return self.emit(Instruction(Op.SB, rs1=base, rs2=rt, imm=offset))
+
+    # -- control emitters ------------------------------------------------------
+
+    def _branch(self, op: Op, rs1: int, rs2: int, target: str) -> Instruction:
+        return self.emit(Instruction(op, rs1=rs1, rs2=rs2, target=target))
+
+    def beq(self, rs1, rs2, target):
+        return self._branch(Op.BEQ, rs1, rs2, target)
+
+    def bne(self, rs1, rs2, target):
+        return self._branch(Op.BNE, rs1, rs2, target)
+
+    def blt(self, rs1, rs2, target):
+        return self._branch(Op.BLT, rs1, rs2, target)
+
+    def bge(self, rs1, rs2, target):
+        return self._branch(Op.BGE, rs1, rs2, target)
+
+    def ble(self, rs1, rs2, target):
+        return self._branch(Op.BLE, rs1, rs2, target)
+
+    def bgt(self, rs1, rs2, target):
+        return self._branch(Op.BGT, rs1, rs2, target)
+
+    def j(self, target):
+        return self.emit(Instruction(Op.J, target=target))
+
+    def jal(self, target):
+        return self.emit(Instruction(Op.JAL, rd=regs.ra, target=target))
+
+    def jr(self, rs1=regs.ra):
+        return self.emit(Instruction(Op.JR, rs1=rs1))
+
+    def nop(self):
+        return self.emit(Instruction(Op.NOP))
+
+    def halt(self):
+        return self.emit(Instruction(Op.HALT))
+
+    # -- pseudo-instructions ---------------------------------------------------
+
+    def li(self, rd: int, imm: int) -> None:
+        """Load a 32-bit constant (one or two instructions)."""
+        imm &= 0xFFFFFFFF
+        if imm >= 0x8000_0000:
+            signed = imm - (1 << 32)
+        else:
+            signed = imm
+        if -32768 <= signed < 32768:
+            self.addi(rd, regs.zero, signed)
+            return
+        upper = (imm >> 16) & 0xFFFF
+        lower = imm & 0xFFFF
+        self.lui(rd, upper)
+        if lower:
+            self.ori(rd, rd, lower)
+
+    def la(self, rd: int, data_label: str) -> None:
+        """Load the address of a data label (resolved at build time)."""
+        self.li(rd, self._data_labels[data_label])
+
+    def move(self, rd: int, rs: int) -> None:
+        self.or_(rd, rs, regs.zero)
+
+    def neg(self, rd: int, rs: int) -> None:
+        self.sub(rd, regs.zero, rs)
+
+    def not_(self, rd: int, rs: int) -> None:
+        self.nor(rd, rs, regs.zero)
+
+    def push(self, *registers: int) -> None:
+        self.addi(regs.sp, regs.sp, -4 * len(registers))
+        for i, reg in enumerate(registers):
+            self.sw(reg, regs.sp, 4 * i)
+
+    def pop(self, *registers: int) -> None:
+        for i, reg in enumerate(registers):
+            self.lw(reg, regs.sp, 4 * i)
+        self.addi(regs.sp, regs.sp, 4 * len(registers))
+
+    def call(self, target: str) -> None:
+        self.jal(target)
+
+    # -- structured control flow -------------------------------------------
+
+    def if_(self, cond: Cond) -> IfElseBlock:
+        """``with b.if_(cond): ...`` — body runs when cond holds."""
+        return IfElseBlock(self, cond)
+
+    def ifelse(self, cond: Cond) -> IfElseBlock:
+        """Like ``if_`` but the block object's ``else_()`` splits branches."""
+        return IfElseBlock(self, cond)
+
+    @contextlib.contextmanager
+    def while_(self, cond: Cond):
+        """``with b.while_(cond): ...`` — pre-tested loop."""
+        top = self.new_label("while")
+        end = self.new_label("endwhile")
+        frame = _LoopFrame(top_label=top, end_label=end, continue_label=top)
+        self._loop_stack.append(frame)
+        self.label(top)
+        op, rs, rt = cond.materialize(self)
+        self.emit(Instruction(NEGATED_BRANCH[op], rs1=rs, rs2=rt, target=end))
+        try:
+            yield frame
+        finally:
+            self._loop_stack.pop()
+        self.j(top)
+        self.label(end)
+
+    @contextlib.contextmanager
+    def loop(self):
+        """Infinite loop; exit with ``break_()``."""
+        top = self.new_label("loop")
+        end = self.new_label("endloop")
+        frame = _LoopFrame(top_label=top, end_label=end, continue_label=top)
+        self._loop_stack.append(frame)
+        self.label(top)
+        try:
+            yield frame
+        finally:
+            self._loop_stack.pop()
+        self.j(top)
+        self.label(end)
+
+    @contextlib.contextmanager
+    def for_range(self, reg: int, start: int, stop: int | None = None,
+                  *, stop_reg: int | None = None, step: int = 1):
+        """Counted loop: ``for reg in range(start, stop, step)``.
+
+        The bound is either an immediate ``stop`` (materialized into ``$at``
+        each iteration) or a register ``stop_reg``.
+        """
+        if (stop is None) == (stop_reg is None):
+            raise ValueError("pass exactly one of stop / stop_reg")
+        if step == 0:
+            raise ValueError("step must be nonzero")
+        self.li(reg, start)
+        top = self.new_label("for")
+        cont = self.new_label("forcont")
+        end = self.new_label("endfor")
+        frame = _LoopFrame(top_label=top, end_label=end, continue_label=cont)
+        self._loop_stack.append(frame)
+        self.label(top)
+        cmp_op = Op.BGE if step > 0 else Op.BLE
+        if stop_reg is not None:
+            self.emit(Instruction(cmp_op, rs1=reg, rs2=stop_reg, target=end))
+        else:
+            self.li(regs.at, stop)
+            self.emit(Instruction(cmp_op, rs1=reg, rs2=regs.at, target=end))
+        try:
+            yield frame
+        finally:
+            self._loop_stack.pop()
+        self.label(cont)
+        self.addi(reg, reg, step)
+        self.j(top)
+        self.label(end)
+
+    def break_(self) -> None:
+        if not self._loop_stack:
+            raise RuntimeError("break_ outside loop")
+        self.j(self._loop_stack[-1].end_label)
+
+    def continue_(self) -> None:
+        if not self._loop_stack:
+            raise RuntimeError("continue_ outside loop")
+        self.j(self._loop_stack[-1].continue_label)
+
+    # -- functions -----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def func(self, name: str, save: tuple[int, ...] = ()):
+        """Define a function: label, prologue saving ``ra`` + ``save`` regs.
+
+        ``ret()`` inside the body jumps to a shared epilogue which restores
+        the saved registers and returns; the epilogue is emitted at block
+        exit (with a fall-through return if the body doesn't end in one).
+        """
+        end = self.new_label(f"ret_{name}")
+        frame = _FuncFrame(name=name, saved=tuple(save), end_label=end)
+        self._func_stack.append(frame)
+        self.label(name)
+        self.push(regs.ra, *frame.saved)
+        try:
+            yield frame
+        finally:
+            self._func_stack.pop()
+        self.label(end)
+        self.pop(regs.ra, *frame.saved)
+        self.jr(regs.ra)
+
+    def ret(self) -> None:
+        """Return from the innermost ``func`` (jumps to its epilogue)."""
+        if not self._func_stack:
+            raise RuntimeError("ret outside func")
+        self.j(self._func_stack[-1].end_label)
+
+    # -- build -----------------------------------------------------------------
+
+    def build(self, entry: str | int | None = None) -> Program:
+        """Resolve labels, validate every instruction, return the Program."""
+        resolved: list[Instruction] = []
+        for inst in self._insts:
+            target = inst.target
+            if inst.is_control and isinstance(target, str):
+                if target not in self._labels:
+                    raise ValueError(f"undefined label {target!r}")
+                target = self._labels[target]
+            new = Instruction(inst.op, rd=inst.rd, rs1=inst.rs1,
+                              rs2=inst.rs2, imm=inst.imm, target=target,
+                              label=inst.label)
+            validate(new)
+            resolved.append(new)
+        if entry is None:
+            entry_pc = self._labels.get("main", 0)
+        elif isinstance(entry, str):
+            entry_pc = self._labels[entry]
+        else:
+            entry_pc = entry
+        return Program(
+            instructions=resolved,
+            labels=dict(self._labels),
+            data_words=dict(self._data_words),
+            data_labels=dict(self._data_labels),
+            entry=entry_pc,
+            memory_bytes=self.memory_bytes,
+            name=self.name,
+        )

@@ -1,0 +1,19 @@
+"""Named logical register constants.
+
+``at`` (r1) is reserved as the builder's scratch register: the structured
+builder materializes immediate branch operands there, so kernels must not
+keep live values in it across builder-emitted control flow.
+"""
+
+zero = 0
+at = 1
+v0, v1 = 2, 3
+a0, a1, a2, a3 = 4, 5, 6, 7
+t0, t1, t2, t3, t4, t5, t6, t7 = 8, 9, 10, 11, 12, 13, 14, 15
+s0, s1, s2, s3, s4, s5, s6, s7 = 16, 17, 18, 19, 20, 21, 22, 23
+t8, t9 = 24, 25
+k0, k1 = 26, 27
+gp, sp, fp, ra = 28, 29, 30, 31
+
+CALLER_SAVED = (t0, t1, t2, t3, t4, t5, t6, t7, t8, t9, a0, a1, a2, a3, v0, v1)
+CALLEE_SAVED = (s0, s1, s2, s3, s4, s5, s6, s7)

@@ -1,0 +1,491 @@
+"""Out-of-order superscalar timing engine.
+
+A cycle-accounting model of the paper's Table 2 machine: instructions are
+processed in program order (driven by the functional oracle) and each one
+receives fetch / rename / issue / complete / commit timestamps subject to
+
+* fetch and commit bandwidth (4/cycle), I-cache and ITLB stalls,
+* ROB (256) and LSQ (32) occupancy,
+* data dependences through renamed physical registers,
+* functional unit and D-cache port contention,
+* frontend depth (pipeline_depth - 2 cycles from fetch to earliest issue),
+* branch redirects: a level-2 override costs its predictor latency; a
+  final misprediction restarts fetch after the branch executes, so the
+  penalty scales with pipeline depth as in the paper.
+
+The engine owns the DDT/RSE/shadow machinery: every instruction is renamed
+early (one cycle after fetch, as ARVI requires), inserted into the DDT,
+and retired from it when its commit cycle passes.  Conditional branches
+consult the two-level predictor; in ARVI configurations the engine builds
+the RSE register-set view according to the value mode (current / load
+back / perfect).
+
+Wrong-path instructions are not materialized — their cost is carried by
+the redirect accounting; DDT rollback is exercised in unit tests instead
+(DESIGN.md §2 lists every such substitution).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.arvi import (
+    ARVIConfig,
+    ARVIPredictor,
+    ARVIRequest,
+    RegisterView,
+    ValueMode,
+)
+from repro.core.ddt import FastDDT
+from repro.core.rse import ChainInfoTable
+from repro.core.shadow import ShadowMapTable, ShadowRegisterFile
+from repro.isa import regs
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    MULDIV_OPS,
+    Op,
+)
+from repro.isa.program import Program
+from repro.pipeline.bandwidth import BandwidthLimiter
+from repro.pipeline.caches import MemoryHierarchy
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.func_units import FunctionalUnits
+from repro.pipeline.functional import DynInst, FunctionalCore
+from repro.pipeline.rename import RenameMap
+from repro.pipeline.rob import RetirementWindow
+from repro.pipeline.stats import SimulationResult
+from repro.predictors.confidence import ConfidenceEstimator
+from repro.predictors.gskew import level1_gskew, level2_gskew
+from repro.predictors.perfect import PerfectPredictor
+from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.twolevel import LevelTwoKind, TwoLevelPredictor
+
+_REDIRECT_LATENCY = 1  # cycles to restart fetch after a resolved mispredict
+
+
+@dataclass(slots=True)
+class TimingRecord:
+    """Per-instruction timing exposed to observers (applications layer)."""
+
+    seq: int
+    pc: int
+    op: int
+    fetch: int
+    dispatch: int
+    issue: int
+    complete: int
+    commit: int
+    chain_length: int
+    is_load: bool
+    is_branch: bool
+    mispredicted: bool
+
+
+Observer = Callable[[TimingRecord, DynInst], None]
+
+
+@dataclass(slots=True)
+class _RetireEntry:
+    token: int
+    dest_preg: int | None
+    value: int
+    commit: int
+    displaced: int | None
+
+
+class PipelineEngine:
+    """One simulation: a program on a machine with a predictor stack."""
+
+    def __init__(self, program: Program, config: MachineConfig,
+                 predictor: TwoLevelPredictor,
+                 *, value_mode: ValueMode = ValueMode.CURRENT,
+                 warmup_instructions: int = 0,
+                 observers: list[Observer] | None = None) -> None:
+        self.program = program
+        self.config = config
+        self.predictor = predictor
+        self.value_mode = value_mode
+        self.warmup_instructions = warmup_instructions
+        self.observers = observers or []
+
+        self.core = FunctionalCore(program)
+        self.memory = MemoryHierarchy(config)
+        self.units = FunctionalUnits(config)
+        self.fetch_bw = BandwidthLimiter(config.fetch_width)
+        self.commit_bw = BandwidthLimiter(config.commit_width)
+        self.rob = RetirementWindow("ROB", config.rob_entries)
+        self.lsq = RetirementWindow("LSQ", config.lsq_entries)
+        self.rename = RenameMap(config.num_phys_regs)
+        self.ras = ReturnAddressStack()
+
+        n_pregs = config.num_phys_regs
+        self.ddt = FastDDT(n_pregs, config.rob_entries)
+        self.chains = ChainInfoTable()
+        self.shadow_values = ShadowRegisterFile(n_pregs)
+        self.shadow_map = ShadowMapTable(n_pregs)
+        for logical in range(self.rename.num_logical):
+            preg = self.rename.lookup(logical)
+            self.shadow_map.record(preg, logical)
+            self.shadow_values.write(preg, self.core.registers[logical])
+
+        self._preg_ready = [0] * n_pregs
+        self._preg_value = [0] * n_pregs
+        for logical in range(self.rename.num_logical):
+            self._preg_value[self.rename.lookup(logical)] = (
+                self.core.registers[logical])
+        self._preg_pending = [False] * n_pregs
+        self._preg_is_load = [False] * n_pregs
+        self._preg_hoist_avail = [0] * n_pregs
+
+        self._retire_queue: deque[_RetireEntry] = deque()
+        self._fetch_barrier = 0
+        self._last_commit = 0
+        self._last_fetch_line = -1
+        # Pending stores for forwarding: word addr -> (data ready, commit).
+        self._pending_stores: dict[int, tuple[int, int]] = {}
+
+        self.result = SimulationResult(
+            benchmark=program.name,
+            configuration=self._config_name(),
+            pipeline_depth=config.pipeline_depth,
+            warmup_instructions=warmup_instructions,
+        )
+        self._measured_start_cycle = 0
+        self._line_mask = ~(config.icache.line_bytes - 1)
+
+    def _config_name(self) -> str:
+        if self.predictor.kind is LevelTwoKind.ARVI:
+            return f"arvi {self.value_mode.value}"
+        return f"2-level {self.predictor.kind.value}"
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, max_instructions: int = 10_000_000) -> SimulationResult:
+        """Simulate until HALT or the instruction budget; returns stats."""
+        for dyn in self.core.run(max_instructions):
+            self._process(dyn)
+        result = self.result
+        result.total_instructions = self.core.instruction_count
+        result.total_cycles = self._last_commit
+        measured = self.core.instruction_count - self.warmup_instructions
+        result.instructions = max(measured, 0)
+        result.cycles = max(self._last_commit - self._measured_start_cycle, 0)
+        result.memory = self.memory.stats()
+        result.ras_accuracy = self.ras.accuracy
+        arvi = self.predictor.arvi
+        if arvi is not None:
+            result.arvi_lookups = arvi.bvit.stats.lookups
+            result.arvi_bvit_hits = arvi.bvit.stats.hits
+        return result
+
+    # -- per-instruction processing --------------------------------------------------
+
+    def _process(self, dyn: DynInst) -> None:
+        config = self.config
+        measured = dyn.seq >= self.warmup_instructions
+
+        # ---- fetch -------------------------------------------------------
+        earliest = self._fetch_barrier
+        earliest = self.rob.earliest_allocation(earliest)
+        is_mem = dyn.is_load or dyn.is_store
+        if is_mem:
+            earliest = self.lsq.earliest_allocation(earliest)
+        byte_pc = dyn.pc * 4
+        line = byte_pc & self._line_mask
+        if line != self._last_fetch_line:
+            self._last_fetch_line = line
+            latency = self.memory.instruction_latency(byte_pc)
+            extra = latency - config.icache.hit_latency
+            if extra > 0:
+                earliest += extra
+        fetch = self.fetch_bw.schedule(earliest)
+
+        # ---- rename (early, one cycle after fetch) -------------------------
+        rename_cycle = fetch + config.rename_offset
+        self._retire_until(rename_cycle)
+
+        inst = dyn.inst
+        src_logicals = inst.sources()
+        src_pregs = self.rename.lookup_many(src_logicals)
+
+        # Branch prediction reads the DDT *before* the branch is inserted.
+        decision = None
+        if dyn.is_cond_branch:
+            decision = self._predict_branch(dyn, src_pregs, fetch)
+
+        dest_preg: int | None = None
+        displaced: int | None = None
+        if inst.rd is not None and inst.rd != 0 and not dyn.is_store:
+            dest_preg, displaced = self.rename.rename_dest(inst.rd)
+            self.shadow_map.record(dest_preg, inst.rd)
+
+        token = self.ddt.allocate(dest_preg, src_pregs)
+        self.chains.insert(token, dest_preg, src_pregs, is_load=dyn.is_load)
+
+        # ---- issue / execute ------------------------------------------------
+        dispatch = fetch + config.frontend_depth
+        ready = dispatch
+        for preg in src_pregs:
+            when = self._preg_ready[preg]
+            if when > ready:
+                ready = when
+        issue, complete = self._execute(dyn, ready)
+
+        # ---- commit ----------------------------------------------------------
+        commit_req = complete + 1
+        if commit_req < self._last_commit:
+            commit_req = self._last_commit
+        commit = self.commit_bw.schedule(commit_req)
+        self._last_commit = commit
+        self.rob.allocate(commit)
+        if is_mem:
+            self.lsq.allocate(commit)
+
+        # ---- writeback bookkeeping -------------------------------------------
+        if dest_preg is not None:
+            value = dyn.result if dyn.result is not None else 0
+            self._preg_ready[dest_preg] = complete
+            self._preg_value[dest_preg] = value
+            self._preg_pending[dest_preg] = True
+            self._preg_is_load[dest_preg] = dyn.is_load
+            if dyn.is_load:
+                self._preg_hoist_avail[dest_preg] = self._hoist_available(
+                    dyn, src_pregs, complete, issue)
+        if dyn.is_store and dyn.addr is not None:
+            word = dyn.addr & ~3
+            self._pending_stores[word] = (complete, commit)
+
+        self._retire_queue.append(_RetireEntry(
+            token=token, dest_preg=dest_preg,
+            value=dyn.result if dyn.result is not None else 0,
+            commit=commit, displaced=displaced))
+
+        # ---- control flow resolution ------------------------------------------
+        mispredicted = False
+        if dyn.is_cond_branch:
+            mispredicted = self._resolve_branch(
+                dyn, decision, fetch, complete, measured)
+        elif dyn.op == Op.JAL:
+            self.ras.push(dyn.pc + 1)
+        elif dyn.op == Op.JR:
+            self.ras.pop(dyn.next_pc)
+        # J/JAL targets are decoded in the frontend; JR is modelled via a
+        # perfect RAS (its real accuracy is reported in the stats).
+
+        # ---- statistics ---------------------------------------------------------
+        if dyn.seq == self.warmup_instructions:
+            self._measured_start_cycle = commit
+        if measured:
+            if dyn.is_load:
+                self.result.loads += 1
+            elif dyn.is_store:
+                self.result.stores += 1
+
+        if self.observers:
+            record = TimingRecord(
+                seq=dyn.seq, pc=dyn.pc, op=dyn.op, fetch=fetch,
+                dispatch=dispatch, issue=issue, complete=complete,
+                commit=commit,
+                chain_length=self.ddt.chain_length(*src_pregs),
+                is_load=dyn.is_load, is_branch=dyn.is_cond_branch,
+                mispredicted=mispredicted)
+            for observer in self.observers:
+                observer(record, dyn)
+
+    # -- execution timing --------------------------------------------------------
+
+    def _execute(self, dyn: DynInst, ready: int) -> tuple[int, int]:
+        """Claim functional units; returns (issue, complete) cycles."""
+        config = self.config
+        op = dyn.op
+        if dyn.is_load:
+            # Address generation on an ALU, then the D-cache access.
+            agen = self.units.int_alu.issue(ready)
+            access = self.units.dcache_port.issue(agen + 1)
+            word = dyn.addr & ~3 if dyn.addr is not None else 0
+            pending = self._pending_stores.get(word)
+            if pending is not None and pending[1] > access:
+                # Forward from the in-flight store once its data is ready.
+                data_ready, _commit = pending
+                complete = max(access, data_ready) + 1
+            else:
+                complete = access + self.memory.data_latency(dyn.addr or 0)
+            return agen, complete
+        if dyn.is_store:
+            # Address + data staged into the LSQ; memory written at commit.
+            issue = self.units.int_alu.issue(ready)
+            return issue, issue + 1
+        if op in MULDIV_OPS:
+            latency = (config.mult_latency if op == Op.MULT
+                       else config.div_latency)
+            occupancy = 1 if op == Op.MULT else latency
+            issue = self.units.int_muldiv.issue(ready, occupancy)
+            return issue, issue + latency
+        if op in ALU_REG_OPS or op in ALU_IMM_OPS or dyn.is_cond_branch:
+            issue = self.units.int_alu.issue(ready)
+            return issue, issue + config.alu_latency
+        # Jumps, NOP, HALT: resolved in the frontend/ALU in one cycle.
+        issue = self.units.int_alu.issue(ready)
+        return issue, issue + 1
+
+    def _hoist_available(self, dyn: DynInst, src_pregs: tuple[int, ...],
+                         complete: int, issue: int) -> int:
+        """Earliest cycle this load's value could exist under *load back*.
+
+        Models hoisting the load to just after its address operands are
+        ready, with aggressive run-time memory disambiguation (paper
+        Section 5): the hoisted load still pays its actual memory latency
+        and cannot start before a forwarding store's data exists.
+        """
+        operands = 0
+        for preg in src_pregs:
+            when = self._preg_ready[preg]
+            if when > operands:
+                operands = when
+        actual_latency = complete - issue
+        word = dyn.addr & ~3 if dyn.addr is not None else 0
+        pending = self._pending_stores.get(word)
+        hoist_start = operands
+        if pending is not None:
+            hoist_start = max(hoist_start, pending[0])
+        return hoist_start + actual_latency
+
+    # -- branch machinery ------------------------------------------------------------
+
+    def _predict_branch(self, dyn: DynInst, src_pregs: tuple[int, ...],
+                        fetch: int):
+        level1 = self.predictor.level1
+        if isinstance(level1, PerfectPredictor):
+            level1.set_outcome(bool(dyn.taken))
+        request = None
+        if self.predictor.kind is LevelTwoKind.ARVI:
+            request = self._build_arvi_request(dyn, src_pregs, fetch)
+        return self.predictor.decide(dyn.pc, request)
+
+    def _build_arvi_request(self, dyn: DynInst,
+                            src_pregs: tuple[int, ...],
+                            fetch: int) -> ARVIRequest:
+        ddt = self.ddt
+        tokens = ddt.chain_tokens(*src_pregs)
+        regset = self.chains.extract(tokens, branch_srcs=src_pregs)
+        mode = self.value_mode
+        views = []
+        for preg in sorted(regset):
+            pending = self._preg_pending[preg]
+            if not pending:
+                views.append(RegisterView(
+                    preg=preg, logical=self.shadow_map.logical_id(preg),
+                    available=True, value=self.shadow_values.read(preg)))
+                continue
+            if mode is ValueMode.PERFECT or (
+                    mode is ValueMode.LOAD_BACK
+                    and self._preg_is_load[preg]
+                    and self._preg_hoist_avail[preg] <= fetch):
+                views.append(RegisterView(
+                    preg=preg, logical=self.shadow_map.logical_id(preg),
+                    available=True,
+                    value=self._preg_value[preg]
+                    & ((1 << self.shadow_values.value_bits) - 1)))
+            else:
+                views.append(RegisterView(
+                    preg=preg, logical=self.shadow_map.logical_id(preg),
+                    available=False, value=0))
+        return ARVIRequest(
+            pc=dyn.pc,
+            regset=views,
+            branch_token=ddt.next_token,
+            oldest_chain_token=ddt.oldest_chain_token(*src_pregs),
+        )
+
+    def _resolve_branch(self, dyn: DynInst, decision, fetch: int,
+                        complete: int, measured: bool) -> bool:
+        taken = bool(dyn.taken)
+        final_correct = decision.final_pred == taken
+        l1_correct = decision.l1_pred == taken
+
+        if not final_correct:
+            # Full misprediction: fetch restarts after the branch executes.
+            self._fetch_barrier = max(
+                self._fetch_barrier, complete + _REDIRECT_LATENCY)
+        elif decision.override:
+            # Correct override: the wrong-path fetches since the branch are
+            # squashed when the level-2 prediction arrives.
+            self._fetch_barrier = max(
+                self._fetch_barrier, fetch + self.predictor.latency + 1)
+
+        self.predictor.train(dyn.pc, decision, taken)
+
+        if measured:
+            result = self.result
+            result.cond_branches += 1
+            if final_correct:
+                result.final_correct += 1
+            if l1_correct:
+                result.l1_correct += 1
+            if decision.override:
+                result.overrides += 1
+                if final_correct and not l1_correct:
+                    result.overrides_helpful += 1
+                elif l1_correct and not final_correct:
+                    result.overrides_harmful += 1
+            if decision.used_l2:
+                result.l2_used += 1
+            if decision.arvi is not None:
+                if decision.arvi.is_load_branch:
+                    result.load.record(final_correct)
+                else:
+                    result.calculated.record(final_correct)
+        return not final_correct
+
+    # -- DDT retirement -----------------------------------------------------------------
+
+    def _retire_until(self, cycle: int) -> None:
+        """Commit DDT entries whose commit cycle has passed."""
+        queue = self._retire_queue
+        while queue and queue[0].commit <= cycle:
+            entry = queue.popleft()
+            self.ddt.commit_oldest()
+            self.chains.discard(entry.token)
+            if entry.dest_preg is not None:
+                self.shadow_values.write(entry.dest_preg, entry.value)
+                self._preg_pending[entry.dest_preg] = False
+            if entry.displaced is not None:
+                self.rename.release(entry.displaced)
+
+
+# -- convenience constructors ------------------------------------------------------
+
+
+def build_predictor(kind: LevelTwoKind, config: MachineConfig,
+                    arvi_config: ARVIConfig | None = None) -> TwoLevelPredictor:
+    """Assemble the paper's predictor configurations."""
+    latencies = config.predictor_latencies
+    if kind is LevelTwoKind.HYBRID:
+        return TwoLevelPredictor(
+            level1_gskew(), kind, level2_hybrid=level2_gskew(),
+            latency=latencies.level2_hybrid)
+    if kind is LevelTwoKind.ARVI:
+        return TwoLevelPredictor(
+            level1_gskew(), kind,
+            arvi=ARVIPredictor(arvi_config or ARVIConfig()),
+            confidence=ConfidenceEstimator(),
+            latency=latencies.level2_arvi)
+    return TwoLevelPredictor(level1_gskew(), LevelTwoKind.NONE)
+
+
+def simulate(program: Program, config: MachineConfig,
+             kind: LevelTwoKind = LevelTwoKind.HYBRID,
+             *, value_mode: ValueMode = ValueMode.CURRENT,
+             warmup_instructions: int = 0,
+             max_instructions: int = 10_000_000,
+             arvi_config: ARVIConfig | None = None,
+             observers: list[Observer] | None = None) -> SimulationResult:
+    """One-call simulation helper used by examples and experiments."""
+    predictor = build_predictor(kind, config, arvi_config)
+    engine = PipelineEngine(
+        program, config, predictor, value_mode=value_mode,
+        warmup_instructions=warmup_instructions, observers=observers)
+    return engine.run(max_instructions)

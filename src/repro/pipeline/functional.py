@@ -1,0 +1,235 @@
+"""Functional (architectural) execution.
+
+The timing engine is oracle-driven: a :class:`FunctionalCore` executes the
+program in architectural order and produces one :class:`DynInst` record per
+dynamic instruction (values, branch outcomes, effective addresses).  The
+out-of-order timing model consumes this stream, attaching cycle timestamps
+and driving the predictors and the DDT.  Wrong-path instructions are never
+materialized; their cost is modelled by the engine's redirect accounting
+(see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from repro.isa import regs
+from repro.isa.instructions import (
+    Instruction,
+    Op,
+    branch_taken,
+    disassemble,
+    to_s32,
+    to_u32,
+)
+from repro.isa.program import DATA_BASE, STACK_TOP, Program
+
+
+class ExecutionError(RuntimeError):
+    """Raised on architectural faults (bad address, unaligned access...)."""
+
+
+class DynInst:
+    """One dynamic instruction instance with its architectural effects."""
+
+    __slots__ = (
+        "seq", "pc", "inst", "op", "rd", "rs1", "rs2",
+        "sval1", "sval2", "result", "taken", "next_pc",
+        "addr", "store_value", "is_load", "is_store", "is_cond_branch",
+    )
+
+    def __init__(self, seq: int, pc: int, inst: Instruction) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+        self.op = int(inst.op)
+        self.rd = inst.rd
+        self.rs1 = inst.rs1
+        self.rs2 = inst.rs2
+        self.sval1 = 0
+        self.sval2 = 0
+        self.result: int | None = None
+        self.taken: bool | None = None
+        self.next_pc = pc + 1
+        self.addr: int | None = None
+        self.store_value: int | None = None
+        self.is_load = inst.is_load
+        self.is_store = inst.is_store
+        self.is_cond_branch = inst.is_cond_branch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DynInst #{self.seq} pc={self.pc} {disassemble(self.inst)}>"
+
+
+class FunctionalCore:
+    """In-order architectural interpreter for assembled programs."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.memory = program.initial_memory()
+        self.registers = [0] * 32
+        self.registers[regs.sp] = STACK_TOP
+        self.registers[regs.gp] = DATA_BASE
+        self.pc = program.entry
+        self.halted = False
+        self.instruction_count = 0
+
+    # -- memory helpers ------------------------------------------------------
+
+    def load_word(self, addr: int) -> int:
+        self._check_addr(addr, 4, aligned=4)
+        return int.from_bytes(self.memory[addr:addr + 4], "little")
+
+    def store_word(self, addr: int, value: int) -> None:
+        self._check_addr(addr, 4, aligned=4)
+        self.memory[addr:addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    def load_byte(self, addr: int, *, signed: bool) -> int:
+        self._check_addr(addr, 1, aligned=1)
+        byte = self.memory[addr]
+        if signed and byte >= 0x80:
+            return byte - 0x100
+        return byte
+
+    def store_byte(self, addr: int, value: int) -> None:
+        self._check_addr(addr, 1, aligned=1)
+        self.memory[addr] = value & 0xFF
+
+    def _check_addr(self, addr: int, size: int, *, aligned: int) -> None:
+        if addr < 0 or addr + size > len(self.memory):
+            raise ExecutionError(
+                f"pc={self.pc}: memory access out of range: {addr:#x}"
+            )
+        if aligned > 1 and addr % aligned:
+            raise ExecutionError(
+                f"pc={self.pc}: unaligned {size}-byte access at {addr:#x}"
+            )
+
+    # -- execution --------------------------------------------------------------
+
+    def step(self) -> DynInst | None:
+        """Execute one instruction; returns None once halted."""
+        if self.halted:
+            return None
+        if not 0 <= self.pc < len(self.program.instructions):
+            raise ExecutionError(f"pc out of range: {self.pc}")
+        inst = self.program.instructions[self.pc]
+        dyn = DynInst(self.instruction_count, self.pc, inst)
+        self.instruction_count += 1
+        regfile = self.registers
+        op = inst.op
+
+        a = regfile[inst.rs1] if inst.rs1 is not None else 0
+        b = regfile[inst.rs2] if inst.rs2 is not None else 0
+        dyn.sval1, dyn.sval2 = a, b
+        result: int | None = None
+        next_pc = self.pc + 1
+
+        if op is Op.ADD:
+            result = to_u32(a + b)
+        elif op is Op.SUB:
+            result = to_u32(a - b)
+        elif op is Op.AND:
+            result = a & b
+        elif op is Op.OR:
+            result = a | b
+        elif op is Op.XOR:
+            result = a ^ b
+        elif op is Op.NOR:
+            result = to_u32(~(a | b))
+        elif op is Op.SLL:
+            result = to_u32(a << (b & 31))
+        elif op is Op.SRL:
+            result = a >> (b & 31)
+        elif op is Op.SRA:
+            result = to_u32(to_s32(a) >> (b & 31))
+        elif op is Op.SLT:
+            result = 1 if to_s32(a) < to_s32(b) else 0
+        elif op is Op.SLTU:
+            result = 1 if a < b else 0
+        elif op is Op.MULT:
+            result = to_u32(to_s32(a) * to_s32(b))
+        elif op is Op.DIV:
+            sa, sb = to_s32(a), to_s32(b)
+            result = 0 if sb == 0 else to_u32(int(sa / sb))
+        elif op is Op.REM:
+            sa, sb = to_s32(a), to_s32(b)
+            result = 0 if sb == 0 else to_u32(sa - int(sa / sb) * sb)
+        elif op is Op.ADDI:
+            result = to_u32(a + inst.imm)
+        elif op is Op.ANDI:
+            result = a & (inst.imm & 0xFFFF)
+        elif op is Op.ORI:
+            result = a | (inst.imm & 0xFFFF)
+        elif op is Op.XORI:
+            result = a ^ (inst.imm & 0xFFFF)
+        elif op is Op.SLTI:
+            result = 1 if to_s32(a) < inst.imm else 0
+        elif op is Op.SLLI:
+            result = to_u32(a << (inst.imm & 31))
+        elif op is Op.SRLI:
+            result = a >> (inst.imm & 31)
+        elif op is Op.SRAI:
+            result = to_u32(to_s32(a) >> (inst.imm & 31))
+        elif op is Op.LUI:
+            result = to_u32(inst.imm << 16)
+        elif op is Op.LW:
+            dyn.addr = to_u32(a + inst.imm)
+            result = self.load_word(dyn.addr)
+        elif op is Op.LB:
+            dyn.addr = to_u32(a + inst.imm)
+            result = to_u32(self.load_byte(dyn.addr, signed=True))
+        elif op is Op.LBU:
+            dyn.addr = to_u32(a + inst.imm)
+            result = self.load_byte(dyn.addr, signed=False)
+        elif op is Op.SW:
+            dyn.addr = to_u32(a + inst.imm)
+            dyn.store_value = b
+            self.store_word(dyn.addr, b)
+        elif op is Op.SB:
+            dyn.addr = to_u32(a + inst.imm)
+            dyn.store_value = b & 0xFF
+            self.store_byte(dyn.addr, b)
+        elif dyn.is_cond_branch:
+            taken = branch_taken(op, a, b)
+            dyn.taken = taken
+            if taken:
+                next_pc = inst.target  # type: ignore[assignment]
+        elif op is Op.J:
+            next_pc = inst.target  # type: ignore[assignment]
+        elif op is Op.JAL:
+            result = self.pc + 1
+            next_pc = inst.target  # type: ignore[assignment]
+        elif op is Op.JR:
+            next_pc = a
+        elif op is Op.JALR:
+            result = self.pc + 1
+            next_pc = a
+        elif op is Op.NOP:
+            pass
+        elif op is Op.HALT:
+            self.halted = True
+            next_pc = self.pc
+        else:  # pragma: no cover - all opcodes handled above
+            raise ExecutionError(f"unimplemented opcode {op!r}")
+
+        if result is not None and inst.rd is not None and inst.rd != 0:
+            regfile[inst.rd] = result
+        if inst.rd == 0:
+            result = 0 if result is not None else None
+        dyn.result = result
+        dyn.next_pc = next_pc
+        self.pc = next_pc
+        return dyn
+
+    def run(self, max_instructions: int = 10_000_000):
+        """Yield dynamic instructions until HALT or the budget is reached."""
+        while not self.halted and self.instruction_count < max_instructions:
+            dyn = self.step()
+            if dyn is None:
+                break
+            yield dyn
+
+    def run_to_completion(self, max_instructions: int = 10_000_000) -> int:
+        """Execute without yielding; returns the instruction count."""
+        for _ in self.run(max_instructions):
+            pass
+        return self.instruction_count

@@ -1,0 +1,96 @@
+"""Register rename: logical-to-physical map table and free list.
+
+The paper requires rename early in the pipeline (at fetch) so the DDT and
+ARVI can work with physical register names when a branch is fetched.  This
+module implements the centralized-physical-register-file scheme of the
+R10000/21264 that the paper assumes:
+
+* every renamed destination takes a fresh physical register from the free
+  list and remembers the register it displaced;
+* the displaced register is returned to the free list when the renaming
+  instruction *commits* (it can no longer be referenced);
+* on squash the mapping is restored from a checkpoint.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.isa.instructions import NUM_LOGICAL_REGS
+
+
+class RenameError(RuntimeError):
+    """Raised on free-list underflow or inconsistent rename operations."""
+
+
+class RenameMap:
+    """Map table + free list over ``num_phys_regs`` physical registers."""
+
+    def __init__(self, num_phys_regs: int,
+                 num_logical: int = NUM_LOGICAL_REGS) -> None:
+        if num_phys_regs < num_logical:
+            raise ValueError("need at least one physical per logical register")
+        self.num_phys_regs = num_phys_regs
+        self.num_logical = num_logical
+        # Identity initial mapping: logical r -> physical r.
+        self._map: list[int] = list(range(num_logical))
+        self._free: deque[int] = deque(range(num_logical, num_phys_regs))
+        # Inverse info for checks/debugging: preg -> logical or None.
+        self._owner: list[int | None] = [None] * num_phys_regs
+        for logical, preg in enumerate(self._map):
+            self._owner[preg] = logical
+
+    # -- queries ------------------------------------------------------------
+
+    def lookup(self, logical: int) -> int:
+        """Current physical register holding ``logical``."""
+        return self._map[logical]
+
+    def lookup_many(self, logicals) -> tuple[int, ...]:
+        return tuple(self._map[lr] for lr in logicals)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Checkpoint of the map table (for squash recovery)."""
+        return tuple(self._map)
+
+    # -- rename / commit ------------------------------------------------------
+
+    def rename_dest(self, logical: int) -> tuple[int, int]:
+        """Allocate a new physical register for a write to ``logical``.
+
+        Returns ``(new_preg, displaced_preg)``; the displaced register must
+        be passed to :meth:`release` when the renaming instruction commits.
+        """
+        if not self._free:
+            raise RenameError("free list underflow")
+        new_preg = self._free.popleft()
+        displaced = self._map[logical]
+        self._map[logical] = new_preg
+        self._owner[new_preg] = logical
+        return new_preg, displaced
+
+    def release(self, preg: int) -> None:
+        """Return a displaced physical register to the free list."""
+        if preg < 0 or preg >= self.num_phys_regs:
+            raise RenameError(f"bad physical register {preg}")
+        self._owner[preg] = None
+        self._free.append(preg)
+
+    def restore(self, snapshot: tuple[int, ...],
+                pregs_to_free) -> None:
+        """Roll the map back to ``snapshot``; free squashed allocations."""
+        if len(snapshot) != self.num_logical:
+            raise RenameError("snapshot size mismatch")
+        self._map = list(snapshot)
+        for preg in pregs_to_free:
+            self.release(preg)
+        for logical, preg in enumerate(self._map):
+            self._owner[preg] = logical
+
+    def live_physical_registers(self) -> set[int]:
+        """Physical registers currently mapped by some logical register."""
+        return set(self._map)

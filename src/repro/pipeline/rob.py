@@ -1,0 +1,53 @@
+"""Occupancy windows for in-order-allocated, in-order-freed structures.
+
+The reorder buffer and the load/store queue both behave the same way for
+timing purposes: an entry is claimed at dispatch in program order and
+freed at commit in program order.  ``RetirementWindow`` tracks the commit
+cycles of the most recent ``capacity`` occupants; when full, a new
+allocation must wait for the oldest occupant's commit cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class RetirementWindow:
+    """Sliding window of commit cycles with fixed capacity."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"{name}: capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._commits: deque[int] = deque()
+        self.allocations = 0
+        self.full_stalls = 0
+
+    def earliest_allocation(self, requested: int) -> int:
+        """Earliest cycle >= requested at which an entry is available.
+
+        The freed entry becomes usable the cycle after its occupant commits.
+        """
+        if len(self._commits) < self.capacity:
+            return requested
+        free_at = self._commits[0] + 1
+        if free_at > requested:
+            self.full_stalls += 1
+            return free_at
+        return requested
+
+    def allocate(self, commit_cycle: int) -> None:
+        """Record the new occupant; oldest entry is evicted when full.
+
+        Callers must have already waited until :meth:`earliest_allocation`,
+        so evicting the oldest entry here models its commit-time free.
+        """
+        if len(self._commits) >= self.capacity:
+            self._commits.popleft()
+        self._commits.append(commit_cycle)
+        self.allocations += 1
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._commits)

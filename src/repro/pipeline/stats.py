@@ -1,0 +1,121 @@
+"""Simulation statistics and results.
+
+``SimulationResult`` carries everything the paper's figures need: IPC over
+the measured window, final/level-1 prediction accuracy, the ARVI
+calculated-vs-load branch classification and per-class accuracy
+(Figure 5), override counts, BVIT behaviour and memory-hierarchy counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.caches import MemoryStats
+
+
+@dataclass
+class BranchClassStats:
+    """Per-class (calculated / load) branch accounting — Figure 5(b)."""
+
+    branches: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.branches if self.branches else 0.0
+
+    def record(self, was_correct: bool) -> None:
+        self.branches += 1
+        if was_correct:
+            self.correct += 1
+
+
+@dataclass
+class SimulationResult:
+    """Measured-window outcome of one engine run."""
+
+    benchmark: str = ""
+    configuration: str = ""
+    pipeline_depth: int = 0
+    instructions: int = 0
+    cycles: int = 0
+    total_instructions: int = 0
+    total_cycles: int = 0
+    warmup_instructions: int = 0
+
+    cond_branches: int = 0
+    final_correct: int = 0
+    l1_correct: int = 0
+    overrides: int = 0
+    overrides_helpful: int = 0
+    overrides_harmful: int = 0
+    l2_used: int = 0
+
+    calculated: BranchClassStats = field(default_factory=BranchClassStats)
+    load: BranchClassStats = field(default_factory=BranchClassStats)
+
+    arvi_bvit_hits: int = 0
+    arvi_lookups: int = 0
+
+    loads: int = 0
+    stores: int = 0
+    memory: MemoryStats = field(default_factory=MemoryStats)
+    ras_accuracy: float = 1.0
+
+    # -- derived metrics ------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def prediction_accuracy(self) -> float:
+        if not self.cond_branches:
+            return 1.0
+        return self.final_correct / self.cond_branches
+
+    @property
+    def l1_accuracy(self) -> float:
+        if not self.cond_branches:
+            return 1.0
+        return self.l1_correct / self.cond_branches
+
+    @property
+    def mispredictions(self) -> int:
+        return self.cond_branches - self.final_correct
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per thousand instructions."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.mispredictions / self.instructions
+
+    @property
+    def load_branch_rate(self) -> float:
+        """Figure 5(a): fraction of conditional branches that are load
+        branches (chain terminating in a pending load)."""
+        classified = self.calculated.branches + self.load.branches
+        return self.load.branches / classified if classified else 0.0
+
+    @property
+    def bvit_hit_rate(self) -> float:
+        return self.arvi_bvit_hits / self.arvi_lookups if self.arvi_lookups else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"benchmark={self.benchmark} config={self.configuration} "
+            f"depth={self.pipeline_depth}",
+            f"  instructions={self.instructions} cycles={self.cycles} "
+            f"IPC={self.ipc:.3f}",
+            f"  branches={self.cond_branches} "
+            f"accuracy={self.prediction_accuracy:.4f} "
+            f"(L1 {self.l1_accuracy:.4f}) MPKI={self.mpki:.2f}",
+        ]
+        if self.arvi_lookups:
+            lines.append(
+                f"  load-branch rate={self.load_branch_rate:.3f} "
+                f"calc acc={self.calculated.accuracy:.4f} "
+                f"load acc={self.load.accuracy:.4f} "
+                f"BVIT hit={self.bvit_hit_rate:.3f}")
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Branch predictor interfaces and shared building blocks."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass
+class PredictorStats:
+    predictions: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0
+
+    @property
+    def mispredictions(self) -> int:
+        return self.predictions - self.correct
+
+    def record(self, was_correct: bool) -> None:
+        self.predictions += 1
+        if was_correct:
+            self.correct += 1
+
+
+class BranchPredictor(ABC):
+    """Direction predictor for conditional branches.
+
+    The timing engine calls :meth:`predict` at fetch and :meth:`update`
+    with the resolved outcome in commit order.  History-based predictors
+    maintain their global history inside :meth:`update`; because the
+    engine only materializes correct-path instructions, this corresponds
+    to speculative history with perfect repair (DESIGN.md §2).
+    """
+
+    def __init__(self) -> None:
+        self.stats = PredictorStats()
+
+    @abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+
+    @abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved outcome."""
+
+    def record_outcome(self, predicted: bool, taken: bool) -> None:
+        self.stats.record(predicted == taken)
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware budget; subclasses override."""
+        return 0
+
+
+class SaturatingCounterTable:
+    """A table of n-bit saturating up/down counters."""
+
+    def __init__(self, entries: int, bits: int = 2,
+                 initial: int | None = None) -> None:
+        if entries < 1 or bits < 1:
+            raise ValueError("entries and bits must be positive")
+        self.entries = entries
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        start = initial if initial is not None else 1 << (bits - 1)
+        self._counters = [start] * entries
+
+    def __getitem__(self, index: int) -> int:
+        return self._counters[index % self.entries]
+
+    def is_high(self, index: int) -> bool:
+        """Counter in the upper half (predict taken)."""
+        return self._counters[index % self.entries] >= (self.maximum + 1) // 2
+
+    def nudge(self, index: int, up: bool) -> None:
+        slot = index % self.entries
+        value = self._counters[slot]
+        if up:
+            if value < self.maximum:
+                self._counters[slot] = value + 1
+        elif value > 0:
+            self._counters[slot] = value - 1
+
+    def reset(self, index: int, value: int = 0) -> None:
+        self._counters[index % self.entries] = value
+
+    @property
+    def storage_bits(self) -> int:
+        return self.entries * self.bits
+
+
+class GlobalHistory:
+    """Global branch-outcome shift register."""
+
+    def __init__(self, bits: int) -> None:
+        if bits < 1:
+            raise ValueError("history bits must be positive")
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+        self.value = 0
+
+    def push(self, taken: bool) -> None:
+        self.value = ((self.value << 1) | int(taken)) & self._mask
+
+    def low(self, bits: int) -> int:
+        return self.value & ((1 << bits) - 1)

@@ -1,0 +1,50 @@
+"""JRS-style resetting-counter confidence estimator.
+
+Used by the two-level ARVI configuration (paper Section 5): the level-1
+hybrid handles easy, highly biased branches; when the estimator reports
+low confidence in the level-1 prediction, the branch is deemed difficult
+and ARVI's prediction is used instead (when the BVIT hits).
+
+Each entry is a miss-distance counter indexed by PC XOR global history: a
+correct level-1 prediction increments it, a misprediction clears it.  The
+branch is *confident* when the counter reaches the threshold.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import GlobalHistory, SaturatingCounterTable
+
+
+class ConfidenceEstimator:
+    def __init__(self, entries: int = 4096, counter_bits: int = 4,
+                 threshold: int = 14, history_bits: int = 8) -> None:
+        if threshold > (1 << counter_bits) - 1:
+            raise ValueError("threshold exceeds counter range")
+        self.table = SaturatingCounterTable(entries, counter_bits, initial=0)
+        self.threshold = threshold
+        self.history = GlobalHistory(history_bits)
+        self.queries = 0
+        self.confident_queries = 0
+
+    def _index(self, pc: int) -> int:
+        return pc ^ self.history.value
+
+    def is_confident(self, pc: int) -> bool:
+        """Is the level-1 prediction for this branch trustworthy?"""
+        self.queries += 1
+        confident = self.table[self._index(pc)] >= self.threshold
+        if confident:
+            self.confident_queries += 1
+        return confident
+
+    def update(self, pc: int, level1_correct: bool, taken: bool) -> None:
+        index = self._index(pc)
+        if level1_correct:
+            self.table.nudge(index, up=True)
+        else:
+            self.table.reset(index)
+        self.history.push(taken)
+
+    @property
+    def storage_bits(self) -> int:
+        return self.table.storage_bits + self.history.bits

@@ -1,0 +1,46 @@
+"""Return address stack.
+
+The engine models ``jr $ra`` returns as perfectly predicted (DESIGN.md §2)
+so conditional branches remain the study, but the structure is implemented
+and tested — it reports how often a real RAS would have been wrong, which
+the engine surfaces as a statistic.
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    def __init__(self, depth: int = 16) -> None:
+        if depth < 1:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._stack: list[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.correct_pops = 0
+        self.overflows = 0
+        self.underflows = 0
+
+    def push(self, return_pc: int) -> None:
+        self.pushes += 1
+        if len(self._stack) >= self.depth:
+            # Circular overwrite: the oldest entry is lost.
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(return_pc)
+
+    def pop(self, actual_target: int) -> bool:
+        """Pop a predicted return target; returns True if it matched."""
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return False
+        predicted = self._stack.pop()
+        correct = predicted == actual_target
+        if correct:
+            self.correct_pops += 1
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct_pops / self.pops if self.pops else 1.0

@@ -1,0 +1,142 @@
+"""Two-level overriding predictor composite (paper Section 5).
+
+In every configuration a fast (1-cycle) 4 KB 2Bc-gskew level-1 predictor
+steers fetch immediately.  A larger level-2 predictor delivers its
+prediction ``latency`` cycles later:
+
+* **hybrid L2** — a 32 KB 2Bc-gskew; if it disagrees with level 1 its
+  prediction is used (fetch restarts from the branch: an override bubble);
+* **ARVI L2** — the level-1 prediction stands unless the confidence
+  estimator marks the branch difficult *and* the BVIT hits, in which case
+  ARVI's prediction is used.
+
+The timing consequences (override bubbles, full mispredict redirects) are
+applied by the engine; this module owns the decision and training logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.arvi import ARVIPrediction, ARVIPredictor, ARVIRequest
+from repro.predictors.base import BranchPredictor
+from repro.predictors.confidence import ConfidenceEstimator
+
+
+class LevelTwoKind(enum.Enum):
+    NONE = "none"           # single-level (ablation)
+    HYBRID = "hybrid"       # 32 KB 2Bc-gskew
+    ARVI = "arvi"           # ARVI over the DDT/RSE
+
+
+@dataclass(slots=True)
+class TwoLevelDecision:
+    """Outcome of the level-1 + level-2 interplay for one branch."""
+
+    l1_pred: bool
+    l2_pred: bool | None
+    final_pred: bool
+    used_l2: bool            # level-2 prediction was selected
+    override: bool           # ...and it differed from level 1 (fetch bubble)
+    confident: bool | None   # confidence verdict (ARVI configurations)
+    arvi: ARVIPrediction | None
+
+
+@dataclass
+class TwoLevelStats:
+    branches: int = 0
+    l1_correct: int = 0
+    final_correct: int = 0
+    overrides: int = 0
+    overrides_helpful: int = 0   # override turned a wrong L1 into a right final
+    overrides_harmful: int = 0   # override broke a correct L1 prediction
+
+    @property
+    def l1_accuracy(self) -> float:
+        return self.l1_correct / self.branches if self.branches else 0.0
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.final_correct / self.branches if self.branches else 0.0
+
+
+class TwoLevelPredictor:
+    """Composite of level-1 gskew + (hybrid | ARVI | nothing) level 2."""
+
+    def __init__(self, level1: BranchPredictor, kind: LevelTwoKind,
+                 *, level2_hybrid: BranchPredictor | None = None,
+                 arvi: ARVIPredictor | None = None,
+                 confidence: ConfidenceEstimator | None = None,
+                 latency: int = 0) -> None:
+        self.level1 = level1
+        self.kind = kind
+        self.level2_hybrid = level2_hybrid
+        self.arvi = arvi
+        self.confidence = confidence
+        self.latency = latency
+        self.stats = TwoLevelStats()
+        if kind is LevelTwoKind.HYBRID and level2_hybrid is None:
+            raise ValueError("hybrid level 2 requires a level2_hybrid predictor")
+        if kind is LevelTwoKind.ARVI and (arvi is None or confidence is None):
+            raise ValueError("ARVI level 2 requires arvi and confidence")
+
+    # -- decision ----------------------------------------------------------------
+
+    def decide(self, pc: int,
+               arvi_request: ARVIRequest | None = None) -> TwoLevelDecision:
+        l1_pred = self.level1.predict(pc)
+
+        if self.kind is LevelTwoKind.NONE:
+            return TwoLevelDecision(
+                l1_pred=l1_pred, l2_pred=None, final_pred=l1_pred,
+                used_l2=False, override=False, confident=None, arvi=None)
+
+        if self.kind is LevelTwoKind.HYBRID:
+            l2_pred = self.level2_hybrid.predict(pc)
+            used = l2_pred != l1_pred
+            return TwoLevelDecision(
+                l1_pred=l1_pred, l2_pred=l2_pred,
+                final_pred=l2_pred if used else l1_pred,
+                used_l2=used, override=used, confident=None, arvi=None)
+
+        # ARVI level 2.
+        if arvi_request is None:
+            raise ValueError("ARVI decision requires an ARVIRequest")
+        confident = self.confidence.is_confident(pc)
+        prediction = self.arvi.predict(arvi_request)
+        use_arvi = (not confident) and prediction.hit
+        final = prediction.taken if use_arvi else l1_pred
+        return TwoLevelDecision(
+            l1_pred=l1_pred, l2_pred=prediction.taken, final_pred=final,
+            used_l2=use_arvi, override=use_arvi and final != l1_pred,
+            confident=confident, arvi=prediction)
+
+    # -- training ----------------------------------------------------------------
+
+    def train(self, pc: int, decision: TwoLevelDecision, taken: bool) -> None:
+        """Commit-order training of every component, plus bookkeeping."""
+        stats = self.stats
+        stats.branches += 1
+        l1_correct = decision.l1_pred == taken
+        final_correct = decision.final_pred == taken
+        if l1_correct:
+            stats.l1_correct += 1
+        if final_correct:
+            stats.final_correct += 1
+        if decision.override:
+            stats.overrides += 1
+            if final_correct and not l1_correct:
+                stats.overrides_helpful += 1
+            elif l1_correct and not final_correct:
+                stats.overrides_harmful += 1
+
+        self.level1.update(pc, taken)
+        self.level1.record_outcome(decision.l1_pred, taken)
+        if self.kind is LevelTwoKind.HYBRID:
+            self.level2_hybrid.update(pc, taken)
+            self.level2_hybrid.record_outcome(decision.l2_pred, taken)
+        elif self.kind is LevelTwoKind.ARVI:
+            self.confidence.update(pc, l1_correct, taken)
+            self.arvi.update(decision.arvi, taken,
+                             hard_branch=not decision.confident)

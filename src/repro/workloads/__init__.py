@@ -1,0 +1,39 @@
+"""Synthetic SPEC95-int workloads (paper Table 3 stand-ins)."""
+
+from repro.workloads import (
+    compress,
+    gcc,
+    go_,
+    ijpeg,
+    li_,
+    m88ksim,
+    perl_,
+    vortex,
+)
+from repro.workloads.common import WorkloadSpec, scaled, skewed_bytes
+from repro.workloads.registry import (
+    BENCHMARKS,
+    SPECS,
+    get_program,
+    get_spec,
+    table3_rows,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "SPECS",
+    "WorkloadSpec",
+    "compress",
+    "gcc",
+    "get_program",
+    "get_spec",
+    "go_",
+    "ijpeg",
+    "li_",
+    "m88ksim",
+    "perl_",
+    "scaled",
+    "skewed_bytes",
+    "table3_rows",
+    "vortex",
+]

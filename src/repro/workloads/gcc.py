@@ -1,0 +1,116 @@
+"""gcc stand-in: multi-pass IR walker with wide static branch footprint.
+
+Three distinct optimization passes (constant folding, dead-code marking,
+strength reduction) each dispatch over a seeded pseudo-IR opcode stream
+with per-case guard branches.  The point is *breadth*: many static branch
+sites of mixed bias and predictability, some IR mutation between passes,
+stressing predictor table capacity the way gcc does.  Expect moderate
+accuracy for every predictor and a modest ARVI gain, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.isa import AsmBuilder, eq, eqz, ge, lt, ne
+from repro.isa.program import Program
+from repro.isa.regs import (
+    s0, s1, s2, s3, s4, s5, s6, t0, t1, t2, t3, t4, t8, zero,
+)
+from repro.workloads.common import rng_for, scaled
+
+IR_ENTRIES = 1024       # (op, a1, a2) triples
+NUM_OPS = 12
+
+OP_NOP, OP_ADD, OP_SUB, OP_MUL, OP_LOAD, OP_STORE = range(6)
+OP_BRANCH, OP_CALL, OP_CMP, OP_MOVE, OP_SHIFT, OP_RET = range(6, 12)
+
+_OP_WEIGHTS = [2, 8, 5, 2, 9, 6, 7, 3, 6, 8, 4, 3]
+
+
+def build(scale: float = 1.0, seed: int = 1) -> Program:
+    passes = scaled(2, scale)
+    rng = rng_for(seed, "gcc-ir")
+    ops = rng.choices(range(NUM_OPS), weights=_OP_WEIGHTS, k=IR_ENTRIES)
+    a1s = [rng.choice([0, 0, 1, rng.randrange(64)]) for _ in range(IR_ENTRIES)]
+    a2s = [rng.choice([0, 1, 2, rng.randrange(64)]) for _ in range(IR_ENTRIES)]
+    triples = []
+    for op, a1, a2 in zip(ops, a1s, a2s):
+        triples.extend([op, a1, a2])
+
+    b = AsmBuilder("gcc")
+    b.data_word("ir", *triples)
+
+    def walk_ir(body) -> None:
+        """Loop over the IR; ``body(op, a1, a2, base)`` emits per-entry code
+        with the operands in t1, t2, t3 and the entry address in t0."""
+        with b.for_range(s1, 0, IR_ENTRIES):
+            b.slli(t0, s1, 2)
+            b.add(t4, s1, s1)
+            b.slli(t4, t4, 2)
+            b.add(t0, t0, t4)            # s1 * 12
+            b.add(t0, t0, s0)
+            b.lw(t1, t0, 0)              # op
+            b.lw(t2, t0, 4)              # a1
+            b.lw(t3, t0, 8)              # a2
+            body()
+
+    def fold_pass() -> None:
+        """Constant folding: per-op dispatch with zero/one guards."""
+        def body() -> None:
+            with b.if_(eq(t1, OP_ADD, imm=True)):
+                with b.if_(eqz(t2)):         # x + 0
+                    b.li(t4, OP_MOVE)
+                    b.sw(t4, t0, 0)
+                    b.addi(s2, s2, 1)
+            with b.if_(eq(t1, OP_MUL, imm=True)):
+                with b.if_(eq(t3, 1, imm=True)):  # x * 1
+                    b.li(t4, OP_MOVE)
+                    b.sw(t4, t0, 0)
+                    b.addi(s2, s2, 1)
+                with b.if_(eq(t3, 2, imm=True)):  # x * 2 -> shift
+                    b.li(t4, OP_SHIFT)
+                    b.sw(t4, t0, 0)
+            with b.if_(eq(t1, OP_CMP, imm=True)):
+                with b.if_(eq(t2, t3)):
+                    b.addi(s3, s3, 1)
+        walk_ir(body)
+
+    def deadcode_pass() -> None:
+        """Mark moves/nops with dead operands."""
+        def body() -> None:
+            with b.if_(eq(t1, OP_MOVE, imm=True)):
+                with b.if_(eq(t2, t3)):          # move x -> x
+                    b.li(t4, OP_NOP)
+                    b.sw(t4, t0, 0)
+                    b.addi(s4, s4, 1)
+            with b.if_(eq(t1, OP_NOP, imm=True)):
+                b.addi(s4, s4, 1)
+            with b.if_(eq(t1, OP_STORE, imm=True)):
+                with b.if_(eqz(t3)):
+                    b.addi(s4, s4, 1)
+        walk_ir(body)
+
+    def strength_pass() -> None:
+        """Strength reduction with value-range guards."""
+        def body() -> None:
+            with b.if_(eq(t1, OP_LOAD, imm=True)):
+                with b.if_(lt(t2, 8, imm=True)):
+                    b.addi(s5, s5, 1)
+            with b.if_(eq(t1, OP_BRANCH, imm=True)):
+                with b.if_(ge(t2, t3)):
+                    b.addi(s5, s5, 1)
+            with b.if_(eq(t1, OP_SUB, imm=True)):
+                with b.if_(ne(t2, zero)):
+                    b.sub(t4, t2, t3)
+                    b.add(s6, s6, t4)
+        walk_ir(body)
+
+    b.label("main")
+    b.la(s0, "ir")
+    for reg in (s2, s3, s4, s5, s6):
+        b.li(reg, 0)
+    with b.for_range(t8, 0, passes):
+        fold_pass()
+        deadcode_pass()
+        strength_pass()
+    b.halt()
+    return b.build()

@@ -1,0 +1,83 @@
+"""ijpeg stand-in: blocked image transform with clipping and quantization.
+
+Fixed-count loops over 8-sample blocks dominate (well predicted by
+everything); the interesting branches are range clipping and the
+quantization compare, whose operands come from loads a short distance
+before the branch — close enough that hoisting the load (the paper's
+*load back* configuration) converts many of them from load branches into
+calculated branches.  ijpeg is the benchmark where load back visibly helps
+in the paper (Section 6).
+"""
+
+from __future__ import annotations
+
+from repro.isa import AsmBuilder, eqz, ge, gt, lt
+from repro.isa.program import Program
+from repro.isa.regs import (
+    s0, s1, s2, s3, s4, s5, s6, s7, t0, t1, t2, t3, t4, t5, t6, zero,
+)
+from repro.workloads.common import rng_for, scaled
+
+IMAGE_WORDS = 2048       # 8 KB image plane
+BLOCK = 8
+QUANT_ENTRIES = 8
+CLIP_MAX = 255
+
+
+def build(scale: float = 1.0, seed: int = 1) -> Program:
+    passes = scaled(2, scale)
+    rng = rng_for(seed, "ijpeg-image")
+    image = [rng.randrange(0, 256) for _ in range(IMAGE_WORDS)]
+    quant = [rng.randrange(8, 48) for _ in range(QUANT_ENTRIES)]
+
+    b = AsmBuilder("ijpeg")
+    b.data_word("image", *image)
+    b.data_word("quant", *quant)
+    b.data_space("out", IMAGE_WORDS)
+
+    b.label("main")
+    b.la(s0, "image")
+    b.la(s1, "quant")
+    b.la(s2, "out")
+    b.li(s6, 0)                          # zero-run counter
+    b.li(s7, 0)                          # output checksum
+    with b.for_range(s5, 0, passes):
+        with b.for_range(s3, 0, IMAGE_WORDS // BLOCK):
+            b.slli(t0, s3, 5)            # block byte offset (8 words)
+            b.add(t0, t0, s0)
+            b.add(t6, t0, zero)          # save block base
+            # Butterfly-ish transform: v = 2*x[i] - x[i^1] + (x[i] >> 2).
+            with b.for_range(s4, 0, BLOCK):
+                b.slli(t1, s4, 2)
+                b.add(t1, t0, t1)
+                b.lw(t2, t1, 0)
+                b.xori(t3, s4, 1)
+                b.slli(t3, t3, 2)
+                b.add(t3, t6, t3)
+                b.lw(t4, t3, 0)
+                b.slli(t5, t2, 1)
+                b.sub(t5, t5, t4)
+                b.srli(t3, t2, 2)
+                b.add(t5, t5, t3)
+                # Clip to [0, CLIP_MAX] — biased, data-dependent.
+                with b.if_(lt(t5, zero)):
+                    b.li(t5, 0)
+                with b.if_(gt(t5, CLIP_MAX, imm=True)):
+                    b.li(t5, CLIP_MAX)
+                # Quantize: subtract the table step while above it.
+                b.andi(t3, s4, QUANT_ENTRIES - 1)
+                b.slli(t3, t3, 2)
+                b.add(t3, t3, s1)
+                b.lw(t4, t3, 0)
+                with b.if_(ge(t5, t4)):
+                    b.sub(t5, t5, t4)
+                # Zero-run accounting (bursty branch).
+                with b.if_(eqz(t5)):
+                    b.addi(s6, s6, 1)
+                b.add(s7, s7, t5)
+                # Store the transformed sample to the output plane.
+                b.sub(t3, t1, s0)
+                b.add(t3, t3, s2)
+                b.sw(t5, t3, 0)
+    b.halt()
+    return b.build()

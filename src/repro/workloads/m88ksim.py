@@ -1,0 +1,154 @@
+"""m88ksim stand-in: the paper's Figure 7 ``lookupdisasm`` kernel.
+
+A hash table of linked lists whose contents never change: the number of
+iterations needed to find (or miss) a key is fully determined by the key's
+value.  In real m88ksim the key is produced by instruction decode hundreds
+of instructions before the lookup, so its register is *committed* when the
+while-loop branches are fetched.  We reproduce that with a four-deep
+software-pipelined key rotation (each key is loaded three lookup bodies
+before its use), which keeps the key committed across the realistic range
+of IPC — the essential precondition for the paper's headline result.
+
+ARVI then keys the BVIT on (branch PC, key value) with the chain-depth tag
+embodying the walk iteration count; since the table is static, every
+(key, iteration) pair has a deterministic outcome and ARVI approaches
+perfect prediction, while history-based predictors see an irregular exit
+pattern.  The walk branches remain *load branches* (their chains end in
+the pending ``ptr``/``ptr->opcode`` loads) — high load-branch rate with
+high accuracy, matching the paper's Figures 5 and 6 for m88ksim.
+"""
+
+from __future__ import annotations
+
+from repro.isa import AsmBuilder, ge, nez
+from repro.isa.program import Program
+from repro.isa.regs import (
+    a0, k0, k1, s0, s1, s2, s3, s4, s5, s6, s7, t0, t1, t2, t3, t8, v0, zero,
+)
+from repro.workloads.common import rng_for, scaled
+
+HASHVAL = 32          # power of two: bucket = key & (HASHVAL - 1)
+MAX_CHAIN = 4
+NUM_KEYS = 128
+ABSENT_KEY_FRACTION = 0.2
+STREAM_WORDS = 32768  # 128 KB: streams through the 64 KB L1 (misses to L2)
+_KEY_REGS = (s4, s5, s6, s7)
+
+
+def _build_hash_table(seed: int):
+    """Static table: per-bucket chains of (opcode, next) nodes."""
+    rng = rng_for(seed, "m88ksim-table")
+    buckets: list[list[int]] = []
+    for bucket in range(HASHVAL):
+        length = min(rng.choice([0, 1, 1, 2, 2, 3, 3, 4, 4]), MAX_CHAIN)
+        opcodes = []
+        seen = set()
+        while len(opcodes) < length:
+            opcode = bucket + HASHVAL * rng.randint(1, 4000)
+            if opcode not in seen:
+                seen.add(opcode)
+                opcodes.append(opcode)
+        buckets.append(opcodes)
+    return buckets
+
+
+def _choose_keys(buckets, seed: int) -> list[int]:
+    """Irregular key sequence: mostly present opcodes, some misses."""
+    rng = rng_for(seed, "m88ksim-keys")
+    present = [op for bucket in buckets for op in bucket]
+    keys = []
+    for _ in range(NUM_KEYS):
+        if present and rng.random() > ABSENT_KEY_FRACTION:
+            keys.append(rng.choice(present))
+        else:
+            bucket = rng.randrange(HASHVAL)
+            taken = set(buckets[bucket])
+            while True:
+                absent = bucket + HASHVAL * rng.randint(4001, 8000)
+                if absent not in taken:
+                    keys.append(absent)
+                    break
+    return keys
+
+
+def build(scale: float = 1.0, seed: int = 1) -> Program:
+    iterations = scaled(800, scale)  # outer iterations, 4 lookups each
+    buckets = _build_hash_table(seed)
+    keys = _choose_keys(buckets, seed)
+
+    b = AsmBuilder("m88ksim")
+    node_addr: dict[int, int] = {}
+    for bucket_ops in buckets:
+        for opcode in bucket_ops:
+            node_addr[opcode] = b.data_space(None, 2)
+    b.data_word("hashtab", *[
+        node_addr[ops[0]] if ops else 0 for ops in buckets
+    ])
+    for bucket_ops in buckets:
+        for position, opcode in enumerate(bucket_ops):
+            addr = node_addr[opcode]
+            nxt = (node_addr[bucket_ops[position + 1]]
+                   if position + 1 < len(bucket_ops) else 0)
+            b.set_data_word(addr, opcode)
+            b.set_data_word(addr + 4, nxt)
+    b.data_word("keys", *keys)
+
+    stream_base = b.data_space("stream", STREAM_WORDS)
+
+    b.label("main")
+    b.la(s0, "keys")
+    b.li(s2, 0)            # checksum
+    b.li(s3, 0)            # hit counter
+    b.la(k0, "stream")     # streaming cursor (simulator-state traffic)
+    b.li(k1, stream_base + 4 * STREAM_WORDS)
+    # Prime the four-deep key pipeline: keyreg[k] = keys[k].
+    for k, reg in enumerate(_KEY_REGS):
+        b.lw(reg, s0, 4 * k)
+    b.li(s1, len(_KEY_REGS))  # next key index
+    with b.for_range(t8, 0, iterations):
+        for reg in _KEY_REGS:
+            # Stream through a 128 KB table (the simulated CPU state in
+            # real m88ksim): the L1 miss keeps commit lagging behind the
+            # walk, so dependence chains stay in flight across it.
+            b.lw(t3, k0, 0)
+            b.add(s2, s2, t3)
+            b.addi(k0, k0, 4)
+            with b.if_(ge(k0, k1)):
+                b.la(k0, "stream")
+            # Lookup with a key loaded three bodies ago (committed).
+            b.move(a0, reg)
+            b.jal("lookupdisasm")
+            with b.if_(nez(v0)):
+                b.addi(s3, s3, 1)
+            # Refill this slot for use three bodies from now.
+            b.slli(t0, s1, 2)
+            b.add(t0, t0, s0)
+            b.lw(reg, t0, 0)
+            b.addi(s1, s1, 1)
+            b.andi(s1, s1, NUM_KEYS - 1)
+            # Decode-phase filler: integer work on the checksum.
+            b.add(s2, s2, a0)
+            b.slli(t1, s2, 1)
+            b.xor(s2, s2, t1)
+            b.srli(t2, s2, 3)
+            b.add(s2, s2, t2)
+    b.halt()
+
+    # INSTAB *lookupdisasm(UINT key)  — paper Figure 7.  Leaf function,
+    # no prologue: the walk chain stays short enough for the 5-bit depth
+    # tag to distinguish every iteration.
+    b.label("lookupdisasm")
+    b.andi(t0, a0, HASHVAL - 1)
+    b.slli(t0, t0, 2)
+    b.la(t1, "hashtab")
+    b.add(t1, t1, t0)
+    b.lw(v0, t1, 0)                     # ptr = hashtab[key % HASHVAL]
+    b.label("walk")
+    b.beq(v0, zero, "walk_done")        # while (ptr != NULL
+    b.lw(t2, v0, 0)                     #        && ptr->opcode
+    b.beq(t2, a0, "walk_done")          #        != key)
+    b.lw(v0, v0, 4)                     #   ptr = ptr->next
+    b.j("walk")
+    b.label("walk_done")
+    b.jr()
+    return b.build()

@@ -1,0 +1,67 @@
+"""vortex stand-in: object database lookup and validation.
+
+Indexed record fetches with validation guards that almost always pass —
+vortex's branches are highly biased and easy for every predictor, so all
+configurations sit near the top of the accuracy range and ARVI's edge is
+small (paper Figure 6: vortex shows the smallest deltas).
+"""
+
+from __future__ import annotations
+
+from repro.isa import AsmBuilder, eq, ge, ne
+from repro.isa.program import Program
+from repro.isa.regs import (
+    s0, s1, s2, s3, s4, s5, t0, t1, t2, t3, t4, zero,
+)
+from repro.workloads.common import rng_for, scaled
+
+NUM_RECORDS = 1024      # 16-byte records: [id, status, type, payload]
+NUM_QUERIES = 256
+INVALID_FRACTION = 0.02
+
+
+def build(scale: float = 1.0, seed: int = 1) -> Program:
+    iterations = scaled(20, scale)
+    rng = rng_for(seed, "vortex-db")
+
+    records: list[int] = []
+    for rec_id in range(NUM_RECORDS):
+        status = 0 if rng.random() < INVALID_FRACTION else 1
+        # Type distribution is heavily skewed (90% archival records), so
+        # the type guard is biased like vortex's validation branches.
+        rec_type = rng.choices(range(4), weights=(4, 3, 3, 90))[0]
+        payload = rng.randrange(1, 1 << 16)
+        records.extend([rec_id * 3 + 11, status, rec_type, payload])
+    queries = [rng.randrange(NUM_RECORDS) for _ in range(NUM_QUERIES)]
+
+    b = AsmBuilder("vortex")
+    b.data_word("records", *records)
+    b.data_word("queries", *queries)
+
+    b.label("main")
+    b.la(s0, "records")
+    b.la(s1, "queries")
+    b.li(s3, 0)               # valid-record accumulator
+    b.li(s4, 0)               # type histogram checksum
+    with b.for_range(s5, 0, iterations):
+        with b.for_range(s2, 0, NUM_QUERIES):
+            b.slli(t0, s2, 2)
+            b.add(t0, t0, s1)
+            b.lw(t1, t0, 0)                  # record index
+            b.slli(t2, t1, 4)                # * 16 bytes
+            b.add(t2, t2, s0)
+            b.lw(t3, t2, 0)                  # id
+            # Integrity check: id == index * 3 + 11 (always true).
+            b.add(t4, t1, t1)
+            b.add(t4, t4, t1)
+            b.addi(t4, t4, 11)
+            with b.if_(eq(t3, t4)):
+                b.lw(t3, t2, 4)              # status
+                with b.if_(ne(t3, zero)):    # ~95% valid
+                    b.lw(t4, t2, 12)         # payload
+                    b.add(s3, s3, t4)
+                    b.lw(t4, t2, 8)          # type
+                    with b.if_(ge(t4, 2, imm=True)):
+                        b.addi(s4, s4, 1)
+    b.halt()
+    return b.build()

@@ -1,0 +1,60 @@
+"""Shared fixtures: small programs and machines used across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import AsmBuilder, nez
+from repro.isa.regs import s0, t0, t1, t2, zero
+from repro.pipeline.config import machine_for_depth
+
+
+@pytest.fixture
+def tiny_machine():
+    """The 20-stage paper machine."""
+    return machine_for_depth(20)
+
+
+def build_counted_loop(iterations: int = 10) -> "Program":
+    """sum(1..n) via a count-down loop; result in t1."""
+    b = AsmBuilder("counted-loop")
+    b.label("main")
+    b.li(t0, iterations)
+    b.li(t1, 0)
+    with b.while_(nez(t0)):
+        b.add(t1, t1, t0)
+        b.addi(t0, t0, -1)
+    b.halt()
+    return b.build()
+
+
+def build_memory_loop(words: int = 16) -> "Program":
+    """Writes i*3 to a table then sums it back; result in t2."""
+    b = AsmBuilder("memory-loop")
+    b.data_space("table", words)
+    b.label("main")
+    b.la(s0, "table")
+    with b.for_range(t0, 0, words):
+        b.slli(t1, t0, 2)
+        b.add(t1, t1, s0)
+        b.add(t2, t0, t0)
+        b.add(t2, t2, t0)
+        b.sw(t2, t1, 0)
+    b.li(t2, 0)
+    with b.for_range(t0, 0, words):
+        b.slli(t1, t0, 2)
+        b.add(t1, t1, s0)
+        b.lw(t1, t1, 0)
+        b.add(t2, t2, t1)
+    b.halt()
+    return b.build()
+
+
+@pytest.fixture
+def counted_loop_program():
+    return build_counted_loop()
+
+
+@pytest.fixture
+def memory_loop_program():
+    return build_memory_loop()

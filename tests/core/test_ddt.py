@@ -1,0 +1,248 @@
+"""DDT tests, including the paper's Figure 1 worked example and the
+hardware-faithful vs fast implementation equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ddt import DDT, DDTError, FastDDT
+
+# Paper Figure 1 instruction sequence (1-indexed physical registers):
+#   1: load p1 <- (p2)
+#   2: add  p4 <- p1 + p3
+#   3: or   p5 <- p4 or p1
+#   4: sub  p6 <- p5 - p4
+#   5: add  p7 <- p1 + 1
+#   6: add  p8 <- p4 + p7
+FIGURE1_PROGRAM = [
+    (1, (2,)),
+    (4, (1, 3)),
+    (5, (4, 1)),
+    (6, (5, 4)),
+    (7, (1,)),
+    (8, (4, 7)),
+]
+
+
+def figure1_ddt(cls=DDT):
+    ddt = cls(num_regs=10, num_entries=9)
+    tokens = [ddt.allocate(dest, srcs) for dest, srcs in FIGURE1_PROGRAM]
+    return ddt, tokens
+
+
+class TestPaperFigure1:
+    """Bit-for-bit reproduction of the DDT update example."""
+
+    def test_state_before_insertion(self):
+        ddt = DDT(num_regs=10, num_entries=9)
+        for dest, srcs in FIGURE1_PROGRAM[:5]:
+            ddt.allocate(dest, srcs)
+        # Upper table of Figure 1 (entries are 0-indexed here).
+        assert ddt.row_bits(1)[:5] == (1, 0, 0, 0, 0)
+        assert ddt.row_bits(4)[:5] == (1, 1, 0, 0, 0)
+        assert ddt.row_bits(5)[:5] == (1, 1, 1, 0, 0)
+        assert ddt.row_bits(6)[:5] == (1, 1, 1, 1, 0)
+        assert ddt.row_bits(7)[:5] == (1, 0, 0, 0, 1)
+        assert ddt.valid == 0b11111
+
+    def test_state_after_insertion(self):
+        ddt, tokens = figure1_ddt()
+        # DDT[p8] = (DDT[p4] | DDT[p7]) & valid | own bit = {1,2,5,6}.
+        assert ddt.row_bits(8) == (1, 1, 0, 0, 1, 1, 0, 0, 0)
+        assert ddt.valid == 0b111111
+        assert ddt.chain_tokens(8) == {tokens[0], tokens[1], tokens[4],
+                                       tokens[5]}
+
+    def test_register_trivially_depends_on_own_instruction(self):
+        ddt, tokens = figure1_ddt()
+        assert ddt.depends_on(5, tokens[2])
+
+    def test_paper_sizing(self):
+        """Section 2: 80 ROB entries x 72 physical registers = 5760 bits."""
+        ddt = DDT(num_regs=72, num_entries=80)
+        assert ddt.storage_bits == 5760
+        assert ddt.storage_bytes == 720  # the paper rounds this to ~730 B
+
+    def test_commit_removes_from_all_chains(self):
+        ddt, tokens = figure1_ddt()
+        committed = ddt.commit_oldest()  # the load (instruction 1)
+        assert committed == tokens[0]
+        for reg in range(10):
+            assert tokens[0] not in ddt.chain_tokens(reg)
+        # p8 chain shrinks but keeps the rest.
+        assert ddt.chain_tokens(8) == {tokens[1], tokens[4], tokens[5]}
+
+
+class TestDDTStructure:
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            DDT(0, 4)
+        with pytest.raises(ValueError):
+            FastDDT(4, 0)
+
+    def test_overflow_raises(self):
+        ddt = DDT(num_regs=4, num_entries=2)
+        ddt.allocate(1, ())
+        ddt.allocate(2, ())
+        with pytest.raises(DDTError):
+            ddt.allocate(3, ())
+
+    def test_commit_empty_raises(self):
+        with pytest.raises(DDTError):
+            DDT(4, 4).commit_oldest()
+        with pytest.raises(DDTError):
+            FastDDT(4, 4).commit_oldest()
+
+    def test_entry_reuse_clears_column(self):
+        ddt = DDT(num_regs=4, num_entries=2)
+        t0 = ddt.allocate(1, ())
+        ddt.allocate(2, (1,))
+        ddt.commit_oldest()
+        # Entry 0 is reused; register 1's old bit must not leak into the
+        # new instruction's chain.
+        t2 = ddt.allocate(3, ())
+        assert ddt.chain_tokens(3) == {t2}
+        assert not ddt.depends_on(3, t0)
+
+    def test_dest_none_occupies_column_without_row_update(self):
+        ddt = DDT(num_regs=4, num_entries=4)
+        ddt.allocate(1, ())
+        token = ddt.allocate(None, (1,))   # store/branch
+        assert ddt.in_flight == 2
+        for reg in range(4):
+            assert token not in ddt.chain_tokens(reg)
+
+    def test_rollback_squashes_young_instructions(self):
+        ddt, tokens = figure1_ddt()
+        squashed = ddt.rollback_to(tokens[2])
+        assert squashed == [tokens[5], tokens[4], tokens[3]]
+        assert ddt.in_flight == 3
+        assert ddt.chain_tokens(5) == {tokens[0], tokens[1], tokens[2]}
+        # Entries can be reallocated after the rollback.
+        token = ddt.allocate(6, (5,))
+        assert ddt.chain_tokens(6) == {tokens[0], tokens[1], tokens[2], token}
+
+    def test_rollback_to_newest_is_noop(self):
+        ddt, tokens = figure1_ddt()
+        assert ddt.rollback_to(tokens[-1]) == []
+        assert ddt.in_flight == 6
+
+    def test_wraparound_allocation(self):
+        ddt = DDT(num_regs=4, num_entries=3)
+        for _ in range(10):
+            ddt.allocate(1, (1,))
+            ddt.commit_oldest()
+        assert ddt.in_flight == 0
+
+    def test_chain_length(self):
+        ddt, tokens = figure1_ddt()
+        assert ddt.chain_length(8) == 4
+        assert ddt.chain_length(6) == 4
+        assert ddt.chain_length(2) == 0
+
+
+class TestFastDDT:
+    def test_figure1_chains_match(self):
+        ddt, tokens = figure1_ddt(FastDDT)
+        assert ddt.chain_tokens(8) == {tokens[0], tokens[1], tokens[4],
+                                       tokens[5]}
+
+    def test_oldest_chain_token(self):
+        ddt, tokens = figure1_ddt(FastDDT)
+        assert ddt.oldest_chain_token(8) == tokens[0]
+        assert ddt.oldest_chain_token(2) is None
+        ddt.commit_oldest()
+        assert ddt.oldest_chain_token(8) == tokens[1]
+
+    def test_next_token_is_monotone(self):
+        ddt = FastDDT(4, 4)
+        first = ddt.next_token
+        token = ddt.allocate(1, ())
+        assert token == first
+        assert ddt.next_token == first + 1
+
+    def test_renormalization_preserves_chains(self):
+        ddt = FastDDT(4, 8)
+        ddt._RENORM_INTERVAL = 16  # force frequent renormalization
+        last_token = None
+        for i in range(200):
+            if ddt.in_flight >= 4:
+                ddt.commit_oldest()
+            last_token = ddt.allocate(1 + (i % 3), (1 + ((i + 1) % 3),))
+        assert last_token in ddt.chain_tokens(1 + (199 % 3))
+
+
+# -- Equivalence: hardware-faithful vs fast implementation ----------------
+
+
+@st.composite
+def ddt_operations(draw):
+    """Random allocate/commit/read scripts over a small register file."""
+    num_regs = draw(st.integers(3, 8))
+    num_entries = draw(st.integers(2, 6))
+    ops = draw(st.lists(st.tuples(
+        st.sampled_from(["alloc", "commit"]),
+        st.integers(0, num_regs - 1),
+        st.lists(st.integers(0, num_regs - 1), max_size=2),
+        st.booleans(),
+    ), max_size=60))
+    return num_regs, num_entries, ops
+
+
+class TestEquivalence:
+    @given(ddt_operations())
+    @settings(max_examples=120, deadline=None)
+    def test_fast_matches_reference(self, script):
+        num_regs, num_entries, ops = script
+        reference = DDT(num_regs, num_entries)
+        fast = FastDDT(num_regs, num_entries)
+        fast._RENORM_INTERVAL = 8  # stress the window logic
+        for kind, dest, srcs, use_dest in ops:
+            if kind == "alloc" and reference.in_flight < num_entries:
+                d = dest if use_dest else None
+                assert reference.allocate(d, srcs) == fast.allocate(d, srcs)
+            elif kind == "commit" and reference.in_flight > 0:
+                assert reference.commit_oldest() == fast.commit_oldest()
+            for reg in range(num_regs):
+                assert reference.chain_tokens(reg) == fast.chain_tokens(reg)
+            assert reference.in_flight == fast.in_flight
+
+    @given(ddt_operations(), st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_rollback_equivalence(self, script, rollback_at):
+        num_regs, num_entries, ops = script
+        reference = DDT(num_regs, num_entries)
+        fast = FastDDT(num_regs, num_entries)
+        allocated = []
+        for kind, dest, srcs, use_dest in ops:
+            if kind == "alloc" and reference.in_flight < num_entries:
+                d = dest if use_dest else None
+                allocated.append(reference.allocate(d, srcs))
+                fast.allocate(d, srcs)
+            elif kind == "commit" and reference.in_flight > 0:
+                reference.commit_oldest()
+                fast.commit_oldest()
+        if allocated:
+            target = allocated[min(rollback_at, len(allocated) - 1)]
+            assert reference.rollback_to(target) == fast.rollback_to(target)
+            for reg in range(num_regs):
+                assert reference.chain_tokens(reg) == fast.chain_tokens(reg)
+
+
+class TestChainInvariants:
+    @given(ddt_operations())
+    @settings(max_examples=60, deadline=None)
+    def test_chain_is_transitive_union(self, script):
+        """A destination chain equals the union of its sources' chains
+        (restricted to still-valid instructions) plus its own token."""
+        num_regs, num_entries, ops = script
+        ddt = FastDDT(num_regs, num_entries)
+        for kind, dest, srcs, use_dest in ops:
+            if kind == "alloc" and ddt.in_flight < num_entries:
+                before = set()
+                for src in srcs:
+                    before |= ddt.chain_tokens(src)
+                token = ddt.allocate(dest, srcs)
+                assert ddt.chain_tokens(dest) == before | {token}
+            elif kind == "commit" and ddt.in_flight > 0:
+                ddt.commit_oldest()

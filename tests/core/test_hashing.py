@@ -1,0 +1,78 @@
+"""Hash unit tests: BVIT index, register-set tag, depth key."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import bvit_index, depth_key, register_set_tag
+
+
+class TestBvitIndex:
+    def test_pc_only(self):
+        assert bvit_index(0x555, []) == 0x555 & 0x7FF
+
+    def test_xor_of_values(self):
+        assert bvit_index(0, [0b101, 0b011]) == 0b110
+
+    def test_masked_to_index_bits(self):
+        assert bvit_index(0xFFFF, [0x1FFF], index_bits=8) < 256
+
+    def test_order_independent(self):
+        assert bvit_index(7, [1, 2, 3]) == bvit_index(7, [3, 1, 2])
+
+    @given(st.integers(0, 1 << 20),
+           st.lists(st.integers(0, 0xFFFFFFFF), max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_range_property(self, pc, values):
+        assert 0 <= bvit_index(pc, values) < 2048
+
+    def test_value_changes_index(self):
+        """Different low-order register values reach different entries."""
+        assert bvit_index(0, [5]) != bvit_index(0, [6])
+
+
+class TestRegisterSetTag:
+    def test_simple_sum(self):
+        assert register_set_tag([1, 2, 3]) == 6
+
+    def test_modulo_width(self):
+        assert register_set_tag([7, 7]) == (7 + 7) % 8
+
+    def test_low_bits_of_ids(self):
+        # id 9 contributes 9 & 7 = 1.
+        assert register_set_tag([9]) == 1
+
+    def test_empty_set(self):
+        assert register_set_tag([]) == 0
+
+    @given(st.lists(st.integers(0, 31), max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_range(self, ids):
+        assert 0 <= register_set_tag(ids) < 8
+
+
+class TestDepthKey:
+    def test_no_chain_is_zero(self):
+        assert depth_key(100, None) == 0
+
+    def test_span(self):
+        assert depth_key(10, 4) == 6
+
+    def test_saturates_at_31(self):
+        assert depth_key(100, 0) == 31
+        assert depth_key(33, 0) == 31
+        assert depth_key(31, 0) == 31
+
+    def test_below_saturation_exact(self):
+        assert depth_key(30, 0) == 30
+
+    def test_negative_span_rejected(self):
+        with pytest.raises(ValueError):
+            depth_key(3, 5)
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_range_property(self, branch, back):
+        if back > branch:
+            branch, back = back, branch
+        assert 0 <= depth_key(branch, back) <= 31

@@ -1,0 +1,50 @@
+"""Shadow register file and shadow map table tests."""
+
+import pytest
+
+from repro.core.shadow import ShadowMapTable, ShadowRegisterFile
+
+
+class TestShadowRegisterFile:
+    def test_stores_low_bits_only(self):
+        shadow = ShadowRegisterFile(8, value_bits=11)
+        shadow.write(3, 0xFFFF)
+        assert shadow.read(3) == 0x7FF
+
+    def test_default_zero(self):
+        assert ShadowRegisterFile(4).read(2) == 0
+
+    def test_paper_sizing(self):
+        """72 physical registers x 11 bits = 792 bits (Section 4.3)."""
+        assert ShadowRegisterFile(72).storage_bits == 792
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            ShadowRegisterFile(4, value_bits=0)
+
+    def test_overwrite(self):
+        shadow = ShadowRegisterFile(4)
+        shadow.write(1, 5)
+        shadow.write(1, 9)
+        assert shadow.read(1) == 9
+
+
+class TestShadowMapTable:
+    def test_stores_low_id_bits(self):
+        table = ShadowMapTable(8, id_bits=3)
+        table.record(5, 29)  # $sp: 29 & 7 = 5
+        assert table.logical_id(5) == 5
+
+    def test_paper_sizing(self):
+        """32 logical registers of 3 bits each = 96 bits per 32 pregs."""
+        assert ShadowMapTable(32).storage_bits == 96
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            ShadowMapTable(4, id_bits=0)
+
+    def test_rename_updates_mapping(self):
+        table = ShadowMapTable(8)
+        table.record(2, 4)
+        table.record(2, 5)
+        assert table.logical_id(2) == 5

@@ -1,0 +1,155 @@
+"""Tests for the text assembler."""
+
+import pytest
+
+from repro.isa import AssemblyError, assemble
+from repro.isa.instructions import Op
+from repro.isa.regs import t0, t1, t2
+from repro.pipeline.functional import FunctionalCore
+
+
+def run_source(source: str) -> FunctionalCore:
+    core = FunctionalCore(assemble(source))
+    core.run_to_completion(100_000)
+    assert core.halted
+    return core
+
+
+class TestBasicAssembly:
+    def test_arithmetic_program(self):
+        core = run_source("""
+        main:
+            li   $t0, 6
+            li   $t1, 7
+            mult $t2, $t0, $t1
+            halt
+        """)
+        assert core.registers[t2] == 42
+
+    def test_comments_and_blank_lines(self):
+        core = run_source("""
+        # leading comment
+        main:  li $t0, 1   # trailing comment
+
+               ; semicolon comment
+               halt
+        """)
+        assert core.registers[t0] == 1
+
+    def test_branches_and_labels(self):
+        core = run_source("""
+        main:   li   $t0, 5
+                li   $t1, 0
+        loop:   addi $t1, $t1, 3
+                addi $t0, $t0, -1
+                bne  $t0, $zero, loop
+                halt
+        """)
+        assert core.registers[t1] == 15
+
+    def test_data_section_and_loads(self):
+        core = run_source("""
+        .data
+        values: .word 10, 20, 30
+        buffer: .space 8
+        .text
+        main:   la $t0, values
+                lw $t1, 8($t0)
+                la $t2, buffer
+                sw $t1, 4($t2)
+                lw $t2, 4($t2)
+                halt
+        """)
+        assert core.registers[t1] == 30
+        assert core.registers[t2] == 30
+
+    def test_byte_access(self):
+        core = run_source("""
+        .data
+        word: .word 0x01020304
+        .text
+        main:  la  $t0, word
+               lbu $t1, 1($t0)
+               halt
+        """)
+        assert core.registers[t1] == 0x03  # little-endian byte 1
+
+    def test_jal_jr(self):
+        core = run_source("""
+        main:  li  $a0, 4
+               jal square
+               move $t0, $v0
+               halt
+        square:
+               mult $v0, $a0, $a0
+               jr  $ra
+        """)
+        assert core.registers[t0] == 16
+
+    def test_pseudo_b(self):
+        core = run_source("""
+        main:  li $t0, 1
+               b  over
+               li $t0, 99
+        over:  halt
+        """)
+        assert core.registers[t0] == 1
+
+    def test_multiple_labels_same_line(self):
+        program = assemble("a: b_label: add $t0, $t0, $t0\n halt")
+        assert program.labels["a"] == 0
+        assert program.labels["b_label"] == 0
+
+
+class TestAssemblyErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("main: frobnicate $t0, $t1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("main: add $t0, $t1, $zz")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("main: lw $t0, 4[$t1]")
+
+    def test_undefined_label_at_build(self):
+        with pytest.raises(ValueError):
+            assemble("main: j nowhere")
+
+    def test_instruction_in_data_section(self):
+        with pytest.raises(AssemblyError, match="data"):
+            assemble(".data\n add $t0, $t0, $t0")
+
+    def test_unaligned_space(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nbuf: .space 3")
+
+    def test_error_reports_line_number(self):
+        try:
+            assemble("main: li $t0, 1\n bogus $t0")
+        except AssemblyError as exc:
+            assert exc.lineno == 2
+        else:  # pragma: no cover
+            pytest.fail("expected AssemblyError")
+
+
+class TestRoundTrip:
+    def test_assembled_ops_match(self):
+        program = assemble("""
+        main: add  $t0, $t1, $t2
+              addi $t0, $t0, 5
+              lw   $t1, 0($t0)
+              sw   $t1, 4($t0)
+              beq  $t0, $t1, main
+              halt
+        """)
+        ops = [inst.op for inst in program.instructions]
+        assert ops == [Op.ADD, Op.ADDI, Op.LW, Op.SW, Op.BEQ, Op.HALT]
+
+    def test_listing_contains_labels(self):
+        program = assemble("main: nop\n halt")
+        listing = program.listing()
+        assert "main:" in listing
+        assert "nop" in listing

@@ -1,0 +1,129 @@
+"""Unit tests for instruction definitions and helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    COND_BRANCH_OPS,
+    JUMP_OPS,
+    LOAD_OPS,
+    NEGATED_BRANCH,
+    STORE_OPS,
+    Instruction,
+    Op,
+    branch_taken,
+    disassemble,
+    parse_reg,
+    to_s32,
+    to_u32,
+    validate,
+)
+
+
+class TestWordArithmetic:
+    def test_to_u32_wraps(self):
+        assert to_u32(0x1_0000_0005) == 5
+        assert to_u32(-1) == 0xFFFFFFFF
+
+    def test_to_s32_sign(self):
+        assert to_s32(0xFFFFFFFF) == -1
+        assert to_s32(0x7FFFFFFF) == 0x7FFFFFFF
+        assert to_s32(0x80000000) == -(1 << 31)
+
+    @given(st.integers(min_value=-(1 << 40), max_value=1 << 40))
+    def test_roundtrip(self, value):
+        assert to_u32(to_s32(value)) == to_u32(value)
+        assert -(1 << 31) <= to_s32(value) < (1 << 31)
+
+
+class TestParseReg:
+    @pytest.mark.parametrize("token,expected", [
+        ("$t0", 8), ("t0", 8), ("$zero", 0), ("$ra", 31),
+        ("$5", 5), ("r17", 17), ("$sp", 29),
+    ])
+    def test_accepts(self, token, expected):
+        assert parse_reg(token) == expected
+
+    @pytest.mark.parametrize("token", ["$t99", "r32", "$x1", "", "$-1"])
+    def test_rejects(self, token):
+        with pytest.raises(ValueError):
+            parse_reg(token)
+
+
+class TestCategories:
+    def test_disjoint(self):
+        groups = [ALU_REG_OPS, ALU_IMM_OPS, LOAD_OPS, STORE_OPS,
+                  COND_BRANCH_OPS, JUMP_OPS]
+        seen = set()
+        for group in groups:
+            assert not (seen & group)
+            seen |= group
+
+    def test_every_branch_has_negation(self):
+        for op_int in COND_BRANCH_OPS:
+            op = Op(op_int)
+            assert NEGATED_BRANCH[NEGATED_BRANCH[op]] is op
+
+    def test_instruction_category_properties(self):
+        load = Instruction(Op.LW, rd=1, rs1=2)
+        store = Instruction(Op.SW, rs1=2, rs2=3)
+        branch = Instruction(Op.BEQ, rs1=1, rs2=2, target=0)
+        assert load.is_load and load.is_mem and not load.is_store
+        assert store.is_store and store.is_mem
+        assert branch.is_cond_branch and branch.is_control
+        assert Instruction(Op.J, target=0).is_jump
+
+
+class TestBranchTaken:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (Op.BEQ, 5, 5, True), (Op.BEQ, 5, 6, False),
+        (Op.BNE, 5, 6, True), (Op.BNE, 5, 5, False),
+        (Op.BLT, 1, 2, True), (Op.BLT, 2, 1, False),
+        (Op.BGE, 2, 2, True), (Op.BLE, 2, 2, True),
+        (Op.BGT, 3, 2, True), (Op.BGT, 2, 3, False),
+    ])
+    def test_basic(self, op, a, b, expected):
+        assert branch_taken(op, a, b) is expected
+
+    def test_signed_comparison(self):
+        # 0xFFFFFFFF is -1 signed: less than 0.
+        assert branch_taken(Op.BLT, 0xFFFFFFFF, 0)
+        assert not branch_taken(Op.BGT, 0xFFFFFFFF, 0)
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(ValueError):
+            branch_taken(Op.ADD, 0, 0)
+
+    @given(st.sampled_from(sorted(COND_BRANCH_OPS)),
+           st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+    def test_negation_is_complement(self, op_int, a, b):
+        op = Op(op_int)
+        assert branch_taken(op, a, b) != branch_taken(NEGATED_BRANCH[op], a, b)
+
+
+class TestValidateAndDisassemble:
+    def test_validate_catches_missing_operands(self):
+        with pytest.raises(ValueError):
+            validate(Instruction(Op.ADD, rd=1, rs1=2))  # missing rs2
+        with pytest.raises(ValueError):
+            validate(Instruction(Op.LW, rd=1))           # missing base
+        with pytest.raises(ValueError):
+            validate(Instruction(Op.BEQ, rs1=1, rs2=2))  # missing target
+
+    def test_validate_accepts_good_instructions(self):
+        validate(Instruction(Op.ADD, rd=1, rs1=2, rs2=3))
+        validate(Instruction(Op.SW, rs1=2, rs2=3, imm=4))
+        validate(Instruction(Op.J, target=7))
+
+    def test_disassemble_forms(self):
+        assert disassemble(
+            Instruction(Op.ADD, rd=8, rs1=9, rs2=10)) == "add $t0, $t1, $t2"
+        assert disassemble(
+            Instruction(Op.LW, rd=8, rs1=29, imm=4)) == "lw $t0, 4($sp)"
+        assert disassemble(
+            Instruction(Op.SW, rs1=29, rs2=8, imm=-8)) == "sw $t0, -8($sp)"
+        assert "beq" in disassemble(
+            Instruction(Op.BEQ, rs1=8, rs2=0, target="loop"))

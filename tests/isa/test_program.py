@@ -1,0 +1,58 @@
+"""Program container validation tests."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Op
+from repro.isa.program import DATA_BASE, STACK_TOP, Program
+
+
+class TestValidation:
+    def test_unaligned_data_rejected(self):
+        with pytest.raises(ValueError, match="unaligned"):
+            Program(instructions=[Instruction(Op.HALT)],
+                    data_words={DATA_BASE + 2: 5})
+
+    def test_data_outside_memory_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            Program(instructions=[Instruction(Op.HALT)],
+                    data_words={0x10_0000_0000: 5})
+
+    def test_unresolved_label_rejected(self):
+        with pytest.raises(ValueError, match="unresolved"):
+            Program(instructions=[
+                Instruction(Op.J, target="somewhere"),
+            ])
+
+    def test_len(self):
+        program = Program(instructions=[Instruction(Op.NOP),
+                                        Instruction(Op.HALT)])
+        assert len(program) == 2
+
+
+class TestInitialMemory:
+    def test_data_words_little_endian(self):
+        program = Program(instructions=[Instruction(Op.HALT)],
+                          data_words={DATA_BASE: 0x01020304})
+        memory = program.initial_memory()
+        assert memory[DATA_BASE:DATA_BASE + 4] == bytes(
+            [0x04, 0x03, 0x02, 0x01])
+
+    def test_memory_size(self):
+        program = Program(instructions=[Instruction(Op.HALT)],
+                          memory_bytes=1 << 16)
+        assert len(program.initial_memory()) == 1 << 16
+
+    def test_stack_top_within_default_memory(self):
+        program = Program(instructions=[Instruction(Op.HALT)])
+        assert STACK_TOP < program.memory_bytes
+
+
+class TestListing:
+    def test_listing_orders_labels_before_instructions(self):
+        program = Program(
+            instructions=[Instruction(Op.NOP), Instruction(Op.HALT)],
+            labels={"main": 0, "end": 1})
+        lines = program.listing().splitlines()
+        assert lines[0] == "main:"
+        assert "nop" in lines[1]
+        assert "end:" in lines[2]

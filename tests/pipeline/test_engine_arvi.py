@@ -1,0 +1,173 @@
+"""Engine <-> ARVI interaction semantics.
+
+These tests pin the behaviours that make the paper's mechanism work end
+to end inside the pipeline model: which registers form the RSE set at a
+real prediction, when values count as committed, and that the current-
+value configuration never leaks oracle (uncommitted) values.
+"""
+
+import pytest
+
+from repro.core import ValueMode
+from repro.isa import AsmBuilder, nez
+from repro.isa.regs import s0, s1, s2, s3, t0, t1, t2, zero
+from repro.pipeline.config import machine_for_depth
+from repro.pipeline.engine import PipelineEngine, build_predictor
+from repro.predictors.twolevel import LevelTwoKind
+
+
+def capture_requests(program, *, value_mode=ValueMode.CURRENT,
+                     machine=None, pc_filter=None, max_instructions=50_000):
+    """Run with ARVI, recording every ARVIRequest the engine builds."""
+    machine = machine or machine_for_depth(20)
+    predictor = build_predictor(LevelTwoKind.ARVI, machine)
+    engine = PipelineEngine(program, machine, predictor,
+                            value_mode=value_mode)
+    requests = []
+    original = engine._build_arvi_request
+
+    def spy(dyn, src_pregs, fetch):
+        request = original(dyn, src_pregs, fetch)
+        if pc_filter is None or dyn.pc == pc_filter:
+            requests.append((dyn, request))
+        return request
+
+    engine._build_arvi_request = spy
+    engine.run(max_instructions)
+    return requests
+
+
+class TestRegisterSetFormation:
+    def test_committed_operand_is_own_leaf_with_its_value(self):
+        """A branch on a long-committed register sees that register,
+        available, with its architectural value."""
+        b = AsmBuilder()
+        b.label("main")
+        b.li(s0, 7)
+        for _ in range(200):          # s0 commits long before the branch
+            b.addi(t0, t0, 1)
+        b.label("the_branch")
+        b.bne(s0, zero, "done")
+        b.nop()
+        b.label("done")
+        b.halt()
+        program = b.build()
+        requests = capture_requests(program,
+                                    pc_filter=program.labels["the_branch"])
+        assert len(requests) == 1
+        _, request = requests[0]
+        s0_view = next(v for v in request.regset if v.value == 7)
+        assert s0_view.available
+
+    def test_fresh_load_makes_load_branch(self):
+        """A branch immediately after its feeding load is a load branch."""
+        b = AsmBuilder()
+        b.data_word("flag", 1)
+        b.label("main")
+        with b.for_range(s1, 0, 50):
+            b.la(t0, "flag")
+            b.lw(t1, t0, 0)
+            with b.if_(nez(t1)):
+                b.addi(s2, s2, 1)
+        b.halt()
+        program = b.build()
+        requests = capture_requests(program)
+        # Find the branch instances whose chain includes the fresh load.
+        load_branches = [
+            req for dyn, req in requests
+            if any(not view.available for view in req.regset)
+        ]
+        assert load_branches, "expected load-branch instances"
+
+    def test_current_mode_never_uses_uncommitted_values(self):
+        """In CURRENT mode every available view's value must equal the
+        committed shadow value — no oracle leakage."""
+        from tests.conftest import build_memory_loop
+        program = build_memory_loop(64)
+        machine = machine_for_depth(20)
+        predictor = build_predictor(LevelTwoKind.ARVI, machine)
+        engine = PipelineEngine(program, machine, predictor,
+                                value_mode=ValueMode.CURRENT)
+        mismatches = []
+        original = engine._build_arvi_request
+
+        def spy(dyn, src_pregs, fetch):
+            request = original(dyn, src_pregs, fetch)
+            for view in request.regset:
+                if view.available:
+                    shadow = engine.shadow_values.read(view.preg)
+                    if view.value != shadow:
+                        mismatches.append((dyn.seq, view))
+                    if engine._preg_pending[view.preg]:
+                        mismatches.append((dyn.seq, "pending-available"))
+            return request
+
+        engine._build_arvi_request = spy
+        engine.run()
+        assert not mismatches
+
+    def test_perfect_mode_marks_everything_available(self):
+        from tests.conftest import build_memory_loop
+        requests = capture_requests(build_memory_loop(32),
+                                    value_mode=ValueMode.PERFECT)
+        assert requests
+        for _, request in requests:
+            assert all(view.available for view in request.regset)
+
+    def test_loadback_availability_is_superset_of_current(self):
+        """Load back can only move branches from load to calculated."""
+        from tests.conftest import build_memory_loop
+        program = build_memory_loop(64)
+        current = capture_requests(program, value_mode=ValueMode.CURRENT)
+        loadback = capture_requests(program, value_mode=ValueMode.LOAD_BACK)
+        calc_current = sum(
+            all(v.available for v in req.regset) for _, req in current)
+        calc_loadback = sum(
+            all(v.available for v in req.regset) for _, req in loadback)
+        assert calc_loadback >= calc_current
+
+
+class TestDepthKeys:
+    def test_depth_grows_along_serial_chain(self):
+        """Deeper in a dependence chain, the depth key is larger."""
+        b = AsmBuilder()
+        b.label("main")
+        with b.for_range(s1, 0, 30):
+            b.li(t0, 3)
+            b.addi(t0, t0, 1)
+            b.addi(t0, t0, 1)
+            b.addi(t0, t0, 1)
+            b.addi(t0, t0, 1)
+            with b.if_(nez(t0)):
+                b.addi(s2, s2, 1)
+        b.halt()
+        program = b.build()
+        requests = capture_requests(program)
+        depths = [
+            req.branch_token - req.oldest_chain_token
+            for _, req in requests if req.oldest_chain_token is not None
+        ]
+        assert depths and max(depths) >= 5
+
+
+class TestRenameIntegration:
+    def test_no_rename_for_r0_destinations(self):
+        """Writes to $zero must not consume physical registers."""
+        b = AsmBuilder()
+        b.label("main")
+        for _ in range(600):           # more than the free list holds
+            b.add(zero, s0, s1)
+        b.halt()
+        machine = machine_for_depth(20)
+        predictor = build_predictor(LevelTwoKind.HYBRID, machine)
+        engine = PipelineEngine(b.build(), machine, predictor)
+        engine.run()  # would raise RenameError on free-list underflow
+
+    def test_free_list_never_underflows_on_workload(self):
+        from repro.workloads import get_program
+        program = get_program("li", scale=0.05)
+        machine = machine_for_depth(20)
+        predictor = build_predictor(LevelTwoKind.ARVI, machine)
+        engine = PipelineEngine(program, machine, predictor)
+        engine.run()
+        assert engine.rename.free_count >= 0

@@ -1,0 +1,178 @@
+"""Tests for bandwidth limiter, retirement windows, FUs and rename."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.bandwidth import BandwidthLimiter
+from repro.pipeline.func_units import FunctionalUnitPool, FunctionalUnits
+from repro.pipeline.config import machine_for_depth
+from repro.pipeline.rename import RenameError, RenameMap
+from repro.pipeline.rob import RetirementWindow
+
+
+class TestBandwidthLimiter:
+    def test_width_slots_per_cycle(self):
+        limiter = BandwidthLimiter(4)
+        assert [limiter.schedule(0) for _ in range(4)] == [0, 0, 0, 0]
+        assert limiter.schedule(0) == 1
+
+    def test_advance_resets_count(self):
+        limiter = BandwidthLimiter(2)
+        limiter.schedule(0)
+        limiter.schedule(0)
+        assert limiter.schedule(5) == 5
+        assert limiter.schedule(5) == 5
+        assert limiter.schedule(5) == 6
+
+    def test_requests_behind_cursor_served_at_cursor(self):
+        limiter = BandwidthLimiter(2)
+        limiter.schedule(10)
+        assert limiter.schedule(3) == 10
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            BandwidthLimiter(0)
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=100),
+           st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_and_bandwidth_property(self, requests, width):
+        requests = sorted(requests)
+        limiter = BandwidthLimiter(width)
+        grants = [limiter.schedule(req) for req in requests]
+        assert grants == sorted(grants)
+        for req, grant in zip(requests, grants):
+            assert grant >= req
+        # No cycle is granted more than `width` slots.
+        from collections import Counter
+        for cycle, count in Counter(grants).items():
+            assert count <= width
+
+
+class TestRetirementWindow:
+    def test_no_stall_below_capacity(self):
+        window = RetirementWindow("ROB", 4)
+        for commit in (10, 11, 12):
+            assert window.earliest_allocation(5) == 5
+            window.allocate(commit)
+
+    def test_stall_when_full(self):
+        window = RetirementWindow("ROB", 2)
+        window.allocate(10)
+        window.allocate(11)
+        # Full: next allocation must wait for the oldest commit (10) + 1.
+        assert window.earliest_allocation(5) == 11
+        window.allocate(20)
+        assert window.occupancy == 2
+        assert window.full_stalls == 1
+
+    def test_no_stall_if_requested_after_free(self):
+        window = RetirementWindow("ROB", 1)
+        window.allocate(10)
+        assert window.earliest_allocation(50) == 50
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RetirementWindow("x", 0)
+
+
+class TestFunctionalUnitPool:
+    def test_parallel_servers(self):
+        pool = FunctionalUnitPool("alu", 2)
+        assert pool.issue(0) == 0
+        assert pool.issue(0) == 0
+        assert pool.issue(0) == 1  # both busy at cycle 0
+
+    def test_pipelined_unit_accepts_next_cycle(self):
+        pool = FunctionalUnitPool("alu", 1)
+        assert pool.issue(0, occupancy=1) == 0
+        assert pool.issue(0, occupancy=1) == 1
+
+    def test_unpipelined_unit_blocks(self):
+        pool = FunctionalUnitPool("div", 1)
+        assert pool.issue(0, occupancy=20) == 0
+        assert pool.issue(1, occupancy=20) == 20
+
+    def test_later_request_no_conflict(self):
+        pool = FunctionalUnitPool("alu", 1)
+        pool.issue(0)
+        assert pool.issue(10) == 10
+
+    def test_busy_accounting(self):
+        pool = FunctionalUnitPool("alu", 1)
+        pool.issue(0, occupancy=3)
+        assert pool.operations == 1
+        assert pool.busy_cycles == 3
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitPool("x", 0)
+
+    def test_machine_pools(self):
+        units = FunctionalUnits(machine_for_depth(20))
+        assert units.int_alu.count == 4
+        assert units.int_muldiv.count == 1
+        assert units.dcache_port.count == 2
+
+
+class TestRenameMap:
+    def test_identity_initial_mapping(self):
+        rename = RenameMap(64)
+        for logical in range(32):
+            assert rename.lookup(logical) == logical
+
+    def test_rename_allocates_fresh_register(self):
+        rename = RenameMap(64)
+        new, displaced = rename.rename_dest(5)
+        assert new not in range(32)
+        assert displaced == 5
+        assert rename.lookup(5) == new
+
+    def test_release_recycles(self):
+        rename = RenameMap(34)
+        new1, displaced1 = rename.rename_dest(1)
+        new2, displaced2 = rename.rename_dest(2)
+        assert rename.free_count == 0
+        rename.release(displaced1)
+        new3, _ = rename.rename_dest(3)
+        assert new3 == displaced1
+
+    def test_underflow_raises(self):
+        rename = RenameMap(33)
+        rename.rename_dest(0)
+        with pytest.raises(RenameError):
+            rename.rename_dest(1)
+
+    def test_snapshot_restore(self):
+        rename = RenameMap(64)
+        snapshot = rename.snapshot()
+        new1, _ = rename.rename_dest(3)
+        new2, _ = rename.rename_dest(4)
+        rename.restore(snapshot, [new1, new2])
+        assert rename.lookup(3) == 3
+        assert rename.lookup(4) == 4
+        assert rename.free_count == 32
+
+    def test_restore_validates_snapshot(self):
+        rename = RenameMap(64)
+        with pytest.raises(RenameError):
+            rename.restore((1, 2, 3), [])
+
+    def test_too_few_physical_registers(self):
+        with pytest.raises(ValueError):
+            RenameMap(16)
+
+    @given(st.lists(st.integers(0, 31), max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_live_registers_always_distinct(self, dests):
+        """No two logical registers may map to the same physical one."""
+        rename = RenameMap(32 + 64)
+        displaced_queue = []
+        for logical in dests:
+            if rename.free_count == 0:
+                rename.release(displaced_queue.pop(0))
+            _, displaced = rename.rename_dest(logical)
+            displaced_queue.append(displaced)
+            live = rename.live_physical_registers()
+            assert len(live) == 32

@@ -1,0 +1,56 @@
+"""Confidence estimator tests."""
+
+import pytest
+
+from repro.predictors.confidence import ConfidenceEstimator
+
+
+class TestConfidence:
+    def test_fresh_estimator_is_unconfident(self):
+        estimator = ConfidenceEstimator(threshold=4)
+        assert not estimator.is_confident(10)
+
+    def test_streak_builds_confidence(self):
+        estimator = ConfidenceEstimator(entries=1, history_bits=1,
+                                        threshold=4)
+        for _ in range(4):
+            estimator.update(10, level1_correct=True, taken=True)
+        assert estimator.is_confident(10)
+
+    def test_mispredict_resets(self):
+        estimator = ConfidenceEstimator(entries=1, history_bits=1,
+                                        threshold=4)
+        for _ in range(6):
+            estimator.update(10, level1_correct=True, taken=True)
+        estimator.update(10, level1_correct=False, taken=True)
+        assert not estimator.is_confident(10)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(counter_bits=2, threshold=10)
+
+    def test_query_statistics(self):
+        estimator = ConfidenceEstimator(entries=1, history_bits=1,
+                                        threshold=2)
+        estimator.is_confident(5)
+        for _ in range(3):
+            estimator.update(5, level1_correct=True, taken=False)
+        estimator.is_confident(5)
+        assert estimator.queries == 2
+        assert estimator.confident_queries == 1
+
+    def test_contexts_are_history_dependent(self):
+        """The same PC under different histories is tracked separately.
+
+        With a 1-bit history and constant outcomes, the context stabilizes
+        after the first update, so confidence accumulates there; flipping
+        the history moves the same PC to a fresh, unconfident counter.
+        """
+        estimator = ConfidenceEstimator(entries=256, history_bits=1,
+                                        threshold=2)
+        for _ in range(4):
+            estimator.update(10, level1_correct=True, taken=True)
+        assert estimator.is_confident(10)
+        # Flip the global history: same PC, different context.
+        estimator.update(99, level1_correct=True, taken=False)
+        assert not estimator.is_confident(10)

@@ -1,0 +1,101 @@
+"""Tests for the 2Bc-gskew hybrid (EV8-style) predictor."""
+
+import random
+
+import pytest
+
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gskew import TwoBcGskew, level1_gskew, level2_gskew
+
+
+def accuracy_on(predictor, stream):
+    correct = 0
+    for pc, taken in stream:
+        if predictor.predict(pc) == taken:
+            correct += 1
+        predictor.update(pc, taken)
+    return correct / len(stream)
+
+
+def biased_stream(n=400, pc=10, bias=0.95, seed=0):
+    rng = random.Random(seed)
+    return [(pc, rng.random() < bias) for _ in range(n)]
+
+
+def loop_stream(n=600, pc=10, period=5):
+    return [(pc, (i % period) != period - 1) for i in range(n)]
+
+
+class TestPrediction:
+    def test_learns_biased_branch(self):
+        assert accuracy_on(TwoBcGskew(256), biased_stream()) > 0.85
+
+    def test_learns_loop_pattern(self):
+        assert accuracy_on(TwoBcGskew(1024), loop_stream()) > 0.9
+
+    def test_beats_bimodal_on_history_patterns(self):
+        stream = loop_stream(n=800, period=4)
+        gskew_acc = accuracy_on(TwoBcGskew(1024), stream)
+        bimodal_acc = accuracy_on(BimodalPredictor(1024), stream)
+        assert gskew_acc > bimodal_acc + 0.1
+
+    def test_component_predictions_structure(self):
+        predictor = TwoBcGskew(256)
+        bim, eskew, use_eskew, final = predictor.component_predictions(10)
+        assert final == (eskew if use_eskew else bim)
+
+    def test_mixed_pc_streams(self):
+        """Several branches with independent biases at once."""
+        rng = random.Random(1)
+        stream = []
+        for _ in range(1200):
+            pc = rng.choice([10, 33, 71])
+            bias = {10: 0.9, 33: 0.1, 71: 0.8}[pc]
+            stream.append((pc, rng.random() < bias))
+        assert accuracy_on(TwoBcGskew(1024), stream) > 0.75
+
+
+class TestUpdateRule:
+    def test_meta_trains_only_on_disagreement(self):
+        predictor = TwoBcGskew(64)
+        meta_before = list(predictor.meta._counters)
+        # Force agreement: everything initialized weakly-taken agrees.
+        predictor.update(5, True)
+        # bim == eskew == taken: meta untouched.
+        assert predictor.meta._counters == meta_before
+
+    def test_misprediction_retrains_all_banks(self):
+        predictor = TwoBcGskew(64)
+        bim_idx, g0_idx, g1_idx, _ = predictor._indices(5)
+        before = (predictor.bim[bim_idx], predictor.g0[g0_idx],
+                  predictor.g1[g1_idx])
+        predictor.update(5, False)   # initial prediction is weakly taken
+        after = (predictor.bim[bim_idx], predictor.g0[g0_idx],
+                 predictor.g1[g1_idx])
+        assert all(a < b for a, b in zip(after, before))
+
+
+class TestConfigurations:
+    def test_paper_sizes(self):
+        # 1 KB per bank = 4096 two-bit counters; 8 KB = 32768.
+        assert level1_gskew().bank_entries == 4096
+        assert level2_gskew().bank_entries == 32768
+        # Total storage ~4x bank size (plus the history register).
+        assert level1_gskew().storage_bits // 8192 == 4
+        assert level2_gskew().storage_bits // 8192 == 32
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            TwoBcGskew(1000)
+
+    def test_distinct_bank_indices(self):
+        """The skewing hashes must decorrelate the banks."""
+        predictor = TwoBcGskew(4096)
+        for taken in (True, False, True, True, False, True):
+            predictor.update(123, taken)
+        collisions = 0
+        for pc in range(50):
+            bim, g0, g1, _ = predictor._indices(pc * 97)
+            if bim == g0 or g0 == g1 or bim == g1:
+                collisions += 1
+        assert collisions < 25

@@ -1,0 +1,106 @@
+"""Tests for the related-work predictors (local two-level, Bi-Mode)."""
+
+import random
+
+import pytest
+
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.bimode import BiModePredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.local import LocalHistoryPredictor
+
+
+def accuracy_on(predictor, stream):
+    correct = 0
+    for pc, taken in stream:
+        if predictor.predict(pc) == taken:
+            correct += 1
+        predictor.update(pc, taken)
+    return correct / len(stream)
+
+
+class TestLocalHistory:
+    def test_learns_per_branch_period(self):
+        """A period-3 loop branch is a local-history specialty."""
+        stream = [(10, (i % 3) != 2) for i in range(600)]
+        assert accuracy_on(LocalHistoryPredictor(), stream) > 0.95
+
+    def test_separates_interleaved_branches(self):
+        """Two branches with different periods, interleaved: global
+        history mixes them while local history keeps them apart."""
+        stream = []
+        for i in range(500):
+            stream.append((10, (i % 2) == 0))      # period 2
+            stream.append((20, (i % 5) != 4))      # period 5
+        local_acc = accuracy_on(LocalHistoryPredictor(), stream)
+        assert local_acc > 0.9
+
+    def test_beats_bimodal_on_patterns(self):
+        stream = [(10, (i % 4) != 3) for i in range(800)]
+        local = accuracy_on(LocalHistoryPredictor(), stream)
+        bimodal = accuracy_on(BimodalPredictor(), stream)
+        assert local > bimodal + 0.15
+
+    def test_storage(self):
+        predictor = LocalHistoryPredictor(history_entries=1024,
+                                          history_bits=10)
+        assert predictor.storage_bits == 1024 * 10 + (1 << 10) * 2
+
+    def test_invalid_history_bits(self):
+        with pytest.raises(ValueError):
+            LocalHistoryPredictor(history_bits=0)
+
+
+class TestBiMode:
+    def test_learns_biased_branches(self):
+        rng = random.Random(0)
+        stream = [(10, rng.random() < 0.9) for _ in range(600)]
+        assert accuracy_on(BiModePredictor(256), stream) > 0.8
+
+    def test_opposite_bias_aliasing_resistance(self):
+        """Two branches aliasing to the same direction-table entries but
+        with opposite biases: the choice table separates them."""
+        stream = []
+        for i in range(800):
+            stream.append((0, True))            # strongly taken
+            stream.append((4096, False))        # aliases in a 4096 table
+        bimode = accuracy_on(BiModePredictor(4096), stream)
+        assert bimode > 0.95
+
+    def test_history_patterns_learned(self):
+        stream = [(10, (i % 4) != 3) for i in range(800)]
+        assert accuracy_on(BiModePredictor(1024), stream) > 0.85
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BiModePredictor(1000)
+
+    def test_storage(self):
+        predictor = BiModePredictor(4096, 4096)
+        # two direction tables + choice table (2-bit each) + history.
+        assert predictor.storage_bits >= 3 * 4096 * 2
+
+
+class TestCrossPredictorSanity:
+    @pytest.mark.parametrize("factory", [
+        lambda: BimodalPredictor(1024),
+        lambda: GsharePredictor(1024),
+        lambda: LocalHistoryPredictor(),
+        lambda: BiModePredictor(1024),
+    ])
+    def test_all_learn_constant_branch(self, factory):
+        stream = [(42, True)] * 100
+        assert accuracy_on(factory(), stream) > 0.9
+
+    @pytest.mark.parametrize("factory", [
+        lambda: BimodalPredictor(1024),
+        lambda: GsharePredictor(1024),
+        lambda: LocalHistoryPredictor(),
+        lambda: BiModePredictor(1024),
+    ])
+    def test_random_stream_near_half(self, factory):
+        rng = random.Random(7)
+        stream = [(rng.randrange(64), rng.random() < 0.5)
+                  for _ in range(2000)]
+        accuracy = accuracy_on(factory(), stream)
+        assert 0.35 < accuracy < 0.65

@@ -1,0 +1,30 @@
+"""Public API surface tests."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_headline_types_exported(self):
+        assert repro.DDT is not None
+        assert repro.FastDDT is not None
+        assert repro.ARVIPredictor is not None
+        assert repro.LevelTwoKind is not None
+        assert callable(repro.simulate)
+        assert callable(repro.machine_for_depth)
+
+    def test_subpackages_importable(self):
+        import repro.applications
+        import repro.core
+        import repro.experiments
+        import repro.isa
+        import repro.pipeline
+        import repro.predictors
+        import repro.workloads
+        assert repro.workloads.BENCHMARKS
