@@ -16,6 +16,7 @@ import pytest
 from repro.applications.scheduling import compare_policies
 from repro.core.arvi import ARVIConfig, ValueMode
 from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentPoint, run_point
 from repro.pipeline.config import machine_for_depth
 from repro.pipeline.engine import PipelineEngine, build_predictor
 from repro.predictors.confidence import ConfidenceEstimator
@@ -27,11 +28,18 @@ ABLATION_BENCHMARKS = ("m88ksim", "li", "compress")
 
 def run_arvi(benchmark_name, scale, warmup, arvi_config=None,
              confidence=None):
+    if confidence is None:
+        # The common case maps onto the experiment service directly: the
+        # "current" configuration with an explicit ARVI geometry.
+        return run_point(ExperimentPoint(benchmark_name, "current", 20),
+                         scale=scale, warmup=warmup,
+                         arvi_config=arvi_config)
+    # A custom confidence estimator is an engine-level knob the service
+    # does not key on; build the engine directly.
     program = get_program(benchmark_name, scale=scale)
     config = machine_for_depth(20)
     predictor = build_predictor(LevelTwoKind.ARVI, config, arvi_config)
-    if confidence is not None:
-        predictor.confidence = confidence
+    predictor.confidence = confidence
     engine = PipelineEngine(program, config, predictor,
                             value_mode=ValueMode.CURRENT,
                             warmup_instructions=warmup)

@@ -13,6 +13,8 @@ from repro.workloads.registry import BENCHMARKS
 
 
 def test_figure5(benchmark, save_result, scale, warmup):
+    # Points shard across REPRO_JOBS workers and replay from the result
+    # cache when warm (run_figure5 resolves both from the environment).
     data = benchmark.pedantic(
         lambda: run_figure5(scale=scale, warmup=warmup),
         rounds=1, iterations=1)

@@ -7,24 +7,14 @@ BVIT on (PC, key value) with the chain-depth tag as the iteration number
 — predicts it nearly perfectly while the history-based hybrid cannot.
 """
 
-from repro.core import ValueMode
 from repro.experiments.report import format_table
-from repro.pipeline.config import machine_for_depth
-from repro.pipeline.engine import PipelineEngine, build_predictor
-from repro.predictors.twolevel import LevelTwoKind
-from repro.workloads.registry import get_program
+from repro.experiments.runner import run_suite
 
 
 def run_case_study(scale, warmup):
-    program = get_program("m88ksim", scale=scale)
-    config = machine_for_depth(20)
-    hybrid = PipelineEngine(
-        program, config, build_predictor(LevelTwoKind.HYBRID, config),
-        warmup_instructions=warmup).run()
-    arvi = PipelineEngine(
-        program, config, build_predictor(LevelTwoKind.ARVI, config),
-        value_mode=ValueMode.CURRENT, warmup_instructions=warmup).run()
-    return hybrid, arvi
+    grid = run_suite(configurations=("baseline", "current"), depths=(20,),
+                     benchmarks=("m88ksim",), scale=scale, warmup=warmup)
+    return grid[("m88ksim", "baseline", 20)], grid[("m88ksim", "current", 20)]
 
 
 def test_m88ksim_case_study(benchmark, save_result, scale, warmup):

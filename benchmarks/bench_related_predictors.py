@@ -9,10 +9,10 @@ configuration, showing the ARVI's value information buys more than
 swapping between history organizations.
 """
 
-from repro.core import ValueMode
 from repro.experiments.report import arithmetic_mean, format_table
+from repro.experiments.runner import run_suite as run_grid
 from repro.pipeline.config import machine_for_depth
-from repro.pipeline.engine import PipelineEngine, build_predictor
+from repro.pipeline.engine import PipelineEngine
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.bimode import BiModePredictor
 from repro.predictors.gshare import GsharePredictor
@@ -44,14 +44,12 @@ def run_suite(scale, warmup):
             accuracies.append(engine.run().prediction_accuracy)
         rows.append([label] + accuracies
                     + [arithmetic_mean(accuracies)])
-    # The two-level ARVI configuration for contrast.
-    accuracies = []
-    for name in SUITE:
-        predictor = build_predictor(LevelTwoKind.ARVI, config)
-        engine = PipelineEngine(get_program(name, scale=scale), config,
-                                predictor, value_mode=ValueMode.CURRENT,
-                                warmup_instructions=warmup)
-        accuracies.append(engine.run().prediction_accuracy)
+    # The two-level ARVI configuration for contrast, via the experiment
+    # service (parallel across the suite, cache-replayed when warm).
+    grid = run_grid(configurations=("current",), depths=(20,),
+                    benchmarks=SUITE, scale=scale, warmup=warmup)
+    accuracies = [grid[(name, "current", 20)].prediction_accuracy
+                  for name in SUITE]
     rows.append(["2-level ARVI"] + accuracies
                 + [arithmetic_mean(accuracies)])
     return rows

@@ -5,6 +5,7 @@ These are configuration-derived tables; the benchmark times their
 """
 
 from repro.experiments.tables import (
+    render_all,
     render_table1,
     render_table2,
     render_table3,
@@ -47,3 +48,15 @@ def test_section2_hardware_sizing(benchmark, save_result):
     # Paper: 80 x 72 DDT = 5760 bits; 72 x 11 shadow = 792 bits.
     assert "5760 bits" in text
     assert "792 bits" in text
+
+
+def test_render_all_regenerates_every_artifact(benchmark, save_result):
+    """One-shot regeneration of every configuration-derived artifact;
+    its keys are the result-file names the individual benches write."""
+    artifacts = benchmark(render_all)
+    assert set(artifacts) == {
+        "table1_arvi_access", "table2_machine", "table3_benchmarks",
+        "table4_latencies", "section2_sizing",
+    }
+    for name, text in artifacts.items():
+        save_result(name, text)

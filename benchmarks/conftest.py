@@ -3,7 +3,9 @@
 Every figure/table benchmark writes its rendered output to
 ``benchmarks/results/<name>.txt`` (so the regenerated paper artifacts
 survive pytest's output capture) and also prints it.  ``REPRO_SCALE`` and
-``REPRO_WARMUP`` rescale the simulations (see DESIGN.md §2 on windows).
+``REPRO_WARMUP`` rescale the simulations (see DESIGN.md §2 on windows);
+``REPRO_JOBS`` shards the figure grids across worker processes and
+completed points replay from ``benchmarks/results/cache/`` (DESIGN.md §6).
 """
 
 from __future__ import annotations

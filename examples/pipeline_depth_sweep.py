@@ -6,36 +6,35 @@ go — hard, structureless branches) at 20/40/60 stages and prints
 normalized IPC, showing the paper's trend: deeper pipelines magnify the
 benefit of better prediction.
 
-Run:  python examples/pipeline_depth_sweep.py   (takes a couple of minutes)
+The grid goes through the experiment service: points are sharded across
+``REPRO_JOBS`` worker processes (default: all CPUs) and completed points
+are replayed from the result cache, so a re-run after the first is nearly
+instant.  Set ``REPRO_CACHE=0`` to force recomputation.
+
+Run:  python examples/pipeline_depth_sweep.py
 """
 
-from repro.core import ValueMode
-from repro.experiments.report import format_table
-from repro.pipeline.config import PIPELINE_DEPTHS, machine_for_depth
-from repro.pipeline.engine import PipelineEngine, build_predictor
-from repro.predictors.twolevel import LevelTwoKind
-from repro.workloads.registry import get_program
+from repro.experiments import format_table, run_suite
+from repro.pipeline.config import PIPELINE_DEPTHS
 
 BENCHMARKS = ("m88ksim", "go")
 SCALE = 0.5
 WARMUP = 6000
 
 
-def run(benchmark: str, depth: int, kind: LevelTwoKind):
-    program = get_program(benchmark, scale=SCALE)
-    config = machine_for_depth(depth)
-    engine = PipelineEngine(
-        program, config, build_predictor(kind, config),
-        value_mode=ValueMode.CURRENT, warmup_instructions=WARMUP)
-    return engine.run()
-
-
 def main() -> None:
+    grid = run_suite(
+        configurations=("baseline", "current"), depths=PIPELINE_DEPTHS,
+        benchmarks=BENCHMARKS, scale=SCALE, warmup=WARMUP,
+        progress=lambda e: print(
+            f"  [{e.completed}/{e.total}] {e.point.benchmark}/"
+            f"{e.point.configuration}/{e.point.pipeline_depth} "
+            f"({e.source}, {e.elapsed:.1f}s)"))
     rows = []
     for benchmark in BENCHMARKS:
         for depth in PIPELINE_DEPTHS:
-            baseline = run(benchmark, depth, LevelTwoKind.HYBRID)
-            arvi = run(benchmark, depth, LevelTwoKind.ARVI)
+            baseline = grid[(benchmark, "baseline", depth)]
+            arvi = grid[(benchmark, "current", depth)]
             rows.append([
                 benchmark, depth,
                 baseline.prediction_accuracy, arvi.prediction_accuracy,

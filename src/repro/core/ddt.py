@@ -185,7 +185,10 @@ class FastDDT(_DDTBase):
 
     Tokens are bit positions relative to ``_base``; a renormalization
     shifts every row right when the window drifts, keeping Python int
-    widths proportional to the number of in-flight instructions.
+    widths proportional to the span from the oldest in-flight token to
+    the newest.  (After a rollback the window may contain squashed-token
+    gaps, so the span can temporarily exceed the in-flight count until
+    the pre-gap instructions commit.)
     """
 
     _RENORM_INTERVAL = 4096
@@ -198,12 +201,12 @@ class FastDDT(_DDTBase):
         self.rows = [0] * num_regs
         self.valid = 0
         self._base = 0
+        self._count = 0
         self._next_token = 0
-        self._tail_token = 0  # oldest in-flight token
 
     @property
     def in_flight(self) -> int:
-        return self._next_token - self._tail_token
+        return self._count
 
     @property
     def next_token(self) -> int:
@@ -227,33 +230,58 @@ class FastDDT(_DDTBase):
         if dest is not None:
             rows[dest] = chain | bit
         self.valid |= bit
+        self._count += 1
         self._next_token += 1
         return token
 
     def _renormalize(self) -> None:
-        shift = self._tail_token - self._base
+        # Shift down to the oldest in-flight token (lowest valid bit), so
+        # the window width tracks the oldest-to-newest in-flight span even
+        # across the token gaps rollbacks leave behind.
+        if self.valid:
+            low = self.valid & -self.valid
+            oldest = self._base + low.bit_length() - 1
+        else:
+            oldest = self._next_token
+        shift = oldest - self._base
         if shift <= 0:
             return
         self.rows = [row >> shift for row in self.rows]
         self.valid >>= shift
-        self._base = self._tail_token
+        self._base = oldest
 
     def commit_oldest(self) -> int:
-        if self.in_flight == 0:
+        if self._count == 0:
             raise DDTError("commit on empty DDT")
-        token = self._tail_token
-        self.valid &= ~(1 << (token - self._base))
-        self._tail_token += 1
+        # The oldest in-flight instruction is the lowest valid bit (after
+        # a rollback the window may contain squashed-token gaps, so the
+        # tail cannot simply advance by one).
+        low = self.valid & -self.valid
+        token = self._base + low.bit_length() - 1
+        self.valid ^= low
+        self._count -= 1
         return token
 
     def rollback_to(self, token: int) -> list[int]:
-        if token >= self._next_token:
+        """Squash every in-flight instruction younger than ``token``.
+
+        Tokens stay monotone — instructions allocated on the corrected
+        path after a rollback receive fresh identities, matching the
+        reference :class:`DDT` exactly.
+        """
+        cut = max(token + 1 - self._base, 0)
+        high = self.valid >> cut << cut
+        if not high:
             return []
-        squashed = list(range(self._next_token - 1, token, -1))
-        keep_below = max(token + 1 - self._base, 0)
-        self.valid &= (1 << keep_below) - 1
-        self._next_token = max(token + 1, self._tail_token)
-        return [t for t in squashed if t >= self._tail_token]
+        squashed = []
+        mask = high
+        while mask:
+            top = mask.bit_length() - 1
+            squashed.append(self._base + top)
+            mask ^= 1 << top
+        self.valid ^= high
+        self._count -= len(squashed)
+        return squashed
 
     def chain_mask(self, *regs: int) -> int:
         mask = 0

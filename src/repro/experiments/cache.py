@@ -1,0 +1,125 @@
+"""Persistent result cache for experiment points.
+
+Completed :class:`~repro.pipeline.stats.SimulationResult`\\ s are stored as
+JSON files under ``benchmarks/results/cache/`` (one file per point, named
+by the plan content hash from :func:`repro.experiments.plan.point_key`).
+Because the key covers every outcome-affecting knob, a hit can be replayed
+verbatim: the deserialized result compares equal to a fresh run.
+
+Robustness rules:
+
+* a corrupted, truncated or schema-mismatched cache file is treated as a
+  miss (and the point recomputed) — never an error;
+* writes are atomic (temp file + ``os.replace``) so a crashed or
+  concurrent run cannot leave a half-written entry that later loads;
+* ``REPRO_CACHE=0`` disables caching entirely; ``REPRO_CACHE_DIR``
+  relocates the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.pipeline.stats import SimulationResult
+
+#: Format version of the cache files themselves (distinct from the plan
+#: schema, which versions the *key*); mismatched entries are misses.
+CACHE_FORMAT_VERSION = 1
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") not in ("0", "false", "no")
+
+
+def default_cache_dir() -> pathlib.Path:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return pathlib.Path(override)
+    # In a source checkout the store lives under benchmarks/results/; for
+    # an installed package (no repo root above the module) fall back to
+    # the working directory rather than writing into the interpreter
+    # prefix.
+    root = pathlib.Path(__file__).resolve().parents[3]
+    if not (root / "pyproject.toml").is_file():
+        root = pathlib.Path.cwd()
+    return root / "benchmarks" / "results" / "cache"
+
+
+class ResultCache:
+    """Content-addressed JSON store of simulation results."""
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = pathlib.Path(directory) if directory is not None \
+            else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> SimulationResult | None:
+        """Load a cached result; any malformed entry is a miss."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("format") != CACHE_FORMAT_VERSION:
+                raise ValueError("cache format mismatch")
+            result = SimulationResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Atomically persist one result under its point key."""
+        path = self._path(key)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"format": CACHE_FORMAT_VERSION, "key": key,
+                   "result": result.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cache entry (and any orphaned temp file left by a
+        killed writer); returns the number of entries removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for path in self.directory.glob("*.tmp"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return removed
+
+
+def default_cache() -> ResultCache | None:
+    """The process-wide default store, or ``None`` when caching is off."""
+    return ResultCache() if cache_enabled() else None

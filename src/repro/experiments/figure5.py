@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.experiments.cache import ResultCache
+from repro.experiments.plan import ExperimentPoint, plan_from_points
 from repro.experiments.report import format_table
-from repro.experiments.runner import ExperimentPoint, run_point
+from repro.experiments.scheduler import ProgressCallback, run_plan
 from repro.pipeline.config import PIPELINE_DEPTHS
 from repro.workloads.registry import BENCHMARKS
 
@@ -50,15 +52,22 @@ class Figure5Data:
 
 
 def run_figure5(*, scale: float | None = None, warmup: int | None = None,
-                depths=PIPELINE_DEPTHS, benchmarks=BENCHMARKS) -> Figure5Data:
+                depths=PIPELINE_DEPTHS, benchmarks=BENCHMARKS,
+                jobs: int | None = None, cache: ResultCache | None = None,
+                use_cache: bool = True,
+                progress: ProgressCallback | None = None) -> Figure5Data:
+    plan = plan_from_points(
+        ExperimentPoint(benchmark, "current", depth).resolve(
+            scale=scale, warmup=warmup)
+        for benchmark in benchmarks
+        for depth in depths)
+    results = run_plan(plan, jobs=jobs, cache=cache, use_cache=use_cache,
+                       progress=progress)
     data = Figure5Data()
-    for benchmark in benchmarks:
-        for depth in depths:
-            result = run_point(
-                ExperimentPoint(benchmark, "current", depth),
-                scale=scale, warmup=warmup)
-            data.load_rates[(benchmark, depth)] = result.load_branch_rate
-            if depth == depths[0]:
-                data.calc_accuracy[benchmark] = result.calculated.accuracy
-                data.load_accuracy[benchmark] = result.load.accuracy
+    for point, result in results.items():
+        data.load_rates[(point.benchmark, point.pipeline_depth)] = (
+            result.load_branch_rate)
+        if point.pipeline_depth == depths[0]:
+            data.calc_accuracy[point.benchmark] = result.calculated.accuracy
+            data.load_accuracy[point.benchmark] = result.load.accuracy
     return data

@@ -13,12 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.report import arithmetic_mean, format_table
-from repro.experiments.runner import (
-    CONFIGURATIONS,
-    ExperimentPoint,
-    run_point,
-)
+from repro.experiments.runner import CONFIGURATIONS, run_suite
+from repro.experiments.scheduler import ProgressCallback
 from repro.pipeline.stats import SimulationResult
 from repro.workloads.registry import BENCHMARKS
 
@@ -85,11 +83,14 @@ class Figure6Data:
 def run_figure6(depth: int, *, scale: float | None = None,
                 warmup: int | None = None,
                 benchmarks=BENCHMARKS,
-                configurations=CONFIGURATIONS) -> Figure6Data:
+                configurations=CONFIGURATIONS,
+                jobs: int | None = None, cache: ResultCache | None = None,
+                use_cache: bool = True,
+                progress: ProgressCallback | None = None) -> Figure6Data:
+    grid = run_suite(configurations, depths=(depth,), benchmarks=benchmarks,
+                     scale=scale, warmup=warmup, jobs=jobs, cache=cache,
+                     use_cache=use_cache, progress=progress)
     data = Figure6Data(depth=depth)
-    for benchmark in benchmarks:
-        for configuration in configurations:
-            data.results[(benchmark, configuration)] = run_point(
-                ExperimentPoint(benchmark, configuration, depth),
-                scale=scale, warmup=warmup)
+    for (benchmark, configuration, _), result in grid.items():
+        data.results[(benchmark, configuration)] = result
     return data

@@ -1,4 +1,4 @@
-"""Experiment runner: one (benchmark, configuration, depth) simulation.
+"""Experiment runner: the facade over the plan/schedule/cache layers.
 
 The four configurations match paper Section 5:
 
@@ -7,24 +7,43 @@ The four configurations match paper Section 5:
 * ``load back``  — ARVI with aggressively hoisted loads;
 * ``perfect``    — ARVI with oracle values (upper bound).
 
-``REPRO_SCALE`` / ``REPRO_WARMUP`` environment variables rescale every
-experiment (the benchmark harness honours them), since a pure-Python
-timing simulator cannot run the paper's 100M-instruction windows.
+:func:`execute_point` performs one raw simulation; :func:`run_point` adds
+default resolution (``REPRO_SCALE`` / ``REPRO_WARMUP``); :func:`run_suite`
+expands a benchmark x configuration x depth grid through
+:mod:`repro.experiments.plan`, shards it across processes via
+:mod:`repro.experiments.scheduler` (``REPRO_JOBS`` workers) and replays
+completed points from :mod:`repro.experiments.cache` — identical keyed
+results whether a point was computed serially, in parallel, or loaded
+from the cache.
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass
-
 from repro.core.arvi import ARVIConfig, ValueMode
-from repro.pipeline.config import MachineConfig, machine_for_depth
+from repro.experiments.cache import ResultCache
+from repro.experiments.plan import (
+    CONFIGURATIONS,
+    ExperimentPoint,
+    build_plan,
+    default_scale,
+    default_warmup,
+)
+from repro.experiments.scheduler import ProgressCallback, run_plan
+from repro.pipeline.config import machine_for_depth
 from repro.pipeline.engine import PipelineEngine, build_predictor
 from repro.pipeline.stats import SimulationResult
 from repro.predictors.twolevel import LevelTwoKind
 from repro.workloads.registry import BENCHMARKS, get_program
 
-CONFIGURATIONS = ("baseline", "current", "load back", "perfect")
+__all__ = [
+    "CONFIGURATIONS",
+    "ExperimentPoint",
+    "default_scale",
+    "default_warmup",
+    "execute_point",
+    "run_point",
+    "run_suite",
+]
 
 _VALUE_MODES = {
     "current": ValueMode.CURRENT,
@@ -33,58 +52,63 @@ _VALUE_MODES = {
 }
 
 
-def default_scale() -> float:
-    return float(os.environ.get("REPRO_SCALE", "1.0"))
+def execute_point(point: ExperimentPoint) -> SimulationResult:
+    """Simulate one *resolved* point (no cache, no default resolution).
 
-
-def default_warmup() -> int:
-    return int(os.environ.get("REPRO_WARMUP", "10000"))
-
-
-@dataclass(frozen=True)
-class ExperimentPoint:
-    """One cell of a paper figure: benchmark x configuration x depth."""
-
-    benchmark: str
-    configuration: str
-    pipeline_depth: int
-
-
-def run_point(point: ExperimentPoint, *, scale: float | None = None,
-              warmup: int | None = None, seed: int = 1,
-              arvi_config: ARVIConfig | None = None) -> SimulationResult:
-    """Simulate one experiment point and return its statistics."""
-    if point.configuration not in CONFIGURATIONS:
-        raise ValueError(f"unknown configuration {point.configuration!r}")
-    scale = default_scale() if scale is None else scale
-    warmup = default_warmup() if warmup is None else warmup
-    program = get_program(point.benchmark, scale=scale, seed=seed)
+    This is the single compute kernel every execution path funnels
+    through — the serial loop and the pool workers both call it.
+    """
+    point.validate()
+    if point.scale is None or point.warmup is None:
+        raise ValueError(
+            "execute_point requires a resolved point; call "
+            "point.resolve() first or use run_point/run_suite")
+    program = get_program(point.benchmark, scale=point.scale,
+                          seed=point.seed)
     config = machine_for_depth(point.pipeline_depth)
 
     if point.configuration == "baseline":
         predictor = build_predictor(LevelTwoKind.HYBRID, config)
         mode = ValueMode.CURRENT
     else:
-        predictor = build_predictor(LevelTwoKind.ARVI, config, arvi_config)
+        predictor = build_predictor(LevelTwoKind.ARVI, config,
+                                    point.arvi_config)
         mode = _VALUE_MODES[point.configuration]
 
-    engine = PipelineEngine(program, config, predictor,
-                            value_mode=mode, warmup_instructions=warmup)
+    engine = PipelineEngine(program, config, predictor, value_mode=mode,
+                            warmup_instructions=point.warmup)
     result = engine.run()
     result.configuration = point.configuration
     return result
 
 
+def run_point(point: ExperimentPoint, *, scale: float | None = None,
+              warmup: int | None = None, seed: int | None = None,
+              arvi_config: ARVIConfig | None = None) -> SimulationResult:
+    """Simulate one experiment point and return its statistics."""
+    resolved = point.resolve(scale=scale, warmup=warmup, seed=seed,
+                             arvi_config=arvi_config)
+    resolved.validate()
+    return execute_point(resolved)
+
+
 def run_suite(configurations=CONFIGURATIONS, depths=(20,),
               benchmarks=BENCHMARKS, *, scale: float | None = None,
-              warmup: int | None = None,
-              seed: int = 1) -> dict[tuple[str, str, int], SimulationResult]:
-    """Run a grid of experiment points; keyed (benchmark, config, depth)."""
-    results: dict[tuple[str, str, int], SimulationResult] = {}
-    for depth in depths:
-        for benchmark in benchmarks:
-            for configuration in configurations:
-                point = ExperimentPoint(benchmark, configuration, depth)
-                results[(benchmark, configuration, depth)] = run_point(
-                    point, scale=scale, warmup=warmup, seed=seed)
-    return results
+              warmup: int | None = None, seed: int = 1,
+              arvi_config: ARVIConfig | None = None,
+              jobs: int | None = None, cache: ResultCache | None = None,
+              use_cache: bool = True,
+              progress: ProgressCallback | None = None,
+              ) -> dict[tuple[str, str, int], SimulationResult]:
+    """Run a grid of experiment points; keyed (benchmark, config, depth).
+
+    Facade over plan -> schedule -> cache -> collect.  ``jobs=None``
+    honours ``REPRO_JOBS`` (default CPU count, ``1`` = serial);
+    ``cache``/``use_cache`` control result replay (default store under
+    ``benchmarks/results/cache/``, disable globally with ``REPRO_CACHE=0``).
+    """
+    plan = build_plan(configurations, depths, benchmarks, scale=scale,
+                      warmup=warmup, seed=seed, arvi_config=arvi_config)
+    results = run_plan(plan, jobs=jobs, cache=cache, use_cache=use_cache,
+                       progress=progress)
+    return {point.grid_key: result for point, result in results.items()}

@@ -1,0 +1,207 @@
+"""Experiment scheduling: parallel (or serial) execution of a plan.
+
+:func:`run_plan` takes an :class:`~repro.experiments.plan.ExperimentPlan`
+and executes every point that is not already in the result cache, sharding
+the remainder across a :class:`concurrent.futures.ProcessPoolExecutor`.
+The worker count comes from ``REPRO_JOBS`` (default ``os.cpu_count()``);
+``REPRO_JOBS=1`` is a deterministic serial fallback that never spawns
+worker processes.
+
+Determinism: every point is an independent, fully seeded simulation, and
+every result — computed serially, computed in a worker process, or
+replayed from the cache — passes through the same
+``SimulationResult.to_dict``/``from_dict`` round trip, so the returned
+objects are bit-for-bit equal (``==``) no matter which path produced them.
+
+Progress is streamed through an optional callback receiving one
+:class:`ProgressEvent` per completed point, in completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pathlib
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.cache import ResultCache, default_cache
+from repro.experiments.plan import (
+    ExperimentPlan,
+    ExperimentPoint,
+    plan_from_points,
+    point_key,
+)
+from repro.pipeline.stats import SimulationResult
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set and valid, else CPU count."""
+    raw = os.environ.get("REPRO_JOBS", "")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        jobs = 0
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One completed point, streamed to the progress callback."""
+
+    point: ExperimentPoint
+    key: str
+    completed: int            # points done so far (including this one)
+    total: int                # points in the plan
+    source: str               # "cache" | "serial" | "worker"
+    elapsed: float            # seconds since run_plan started
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+def _compute_payload(point: ExperimentPoint) -> dict:
+    """Worker entry: simulate one point, return its serialized result."""
+    from repro.experiments.runner import execute_point
+    return execute_point(point).to_dict()
+
+
+def _pool_context():
+    """Prefer fork so workers inherit sys.path (PYTHONPATH=src setups)."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _ensure_worker_import_path() -> str | None:
+    """Make ``repro`` importable in spawn-started workers.
+
+    Spawn workers boot a fresh interpreter that must re-import this
+    module to unpickle the submitted callable, so the parent's
+    ``sys.path`` entry for an uninstalled ``src/`` checkout (e.g. added
+    by pytest's ``pythonpath`` option) has to travel via ``PYTHONPATH``.
+    Returns the previous value for :func:`_restore_worker_import_path`;
+    the caller restores it once the pool has shut down (every lazily
+    spawned worker exists by then).
+    """
+    previous = os.environ.get("PYTHONPATH")
+    src_dir = str(pathlib.Path(__file__).resolve().parents[2])
+    parts = previous.split(os.pathsep) if previous else []
+    if src_dir not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([src_dir] + parts)
+    return previous
+
+
+def _restore_worker_import_path(previous: str | None) -> None:
+    if previous is None:
+        os.environ.pop("PYTHONPATH", None)
+    else:
+        os.environ["PYTHONPATH"] = previous
+
+
+def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
+             cache: ResultCache | None = None, use_cache: bool = True,
+             progress: ProgressCallback | None = None,
+             ) -> dict[ExperimentPoint, SimulationResult]:
+    """Execute a plan; returns {resolved point -> result}.
+
+    ``cache=None`` with ``use_cache=True`` uses the default store (honours
+    ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``); pass ``use_cache=False`` to
+    force recomputation without touching any store.
+    """
+    started = time.perf_counter()
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    if use_cache and cache is None:
+        cache = default_cache()
+    elif not use_cache:
+        cache = None
+
+    keys = {point: point_key(point) for point in plan}
+    results: dict[ExperimentPoint, SimulationResult] = {}
+    done = 0
+
+    def emit(point: ExperimentPoint, source: str) -> None:
+        if progress is not None:
+            progress(ProgressEvent(
+                point=point, key=keys[point], completed=done,
+                total=len(plan), source=source,
+                elapsed=time.perf_counter() - started))
+
+    pending: list[ExperimentPoint] = []
+    for point in plan:
+        hit = cache.get(keys[point]) if cache is not None else None
+        if hit is not None:
+            results[point] = hit
+            done += 1
+            emit(point, "cache")
+        else:
+            pending.append(point)
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            for point in pending:
+                payload = _compute_payload(point)
+                results[point] = _finish(point, payload, keys, cache)
+                done += 1
+                emit(point, "serial")
+        else:
+            workers = min(jobs, len(pending))
+            context = _pool_context()
+            needs_path = context.get_start_method() != "fork"
+            saved_path = _ensure_worker_import_path() if needs_path else None
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=workers, mp_context=context) as pool:
+                    futures = {pool.submit(_compute_payload, point): point
+                               for point in pending}
+                    remaining = set(futures)
+                    failure: Exception | None = None
+                    while remaining:
+                        finished, remaining = wait(
+                            remaining, return_when=FIRST_COMPLETED)
+                        for future in finished:
+                            point = futures[future]
+                            try:
+                                payload = future.result()
+                            except Exception as exc:
+                                # Keep draining: sibling points that
+                                # completed must still reach the cache so
+                                # a retry only recomputes the failed one.
+                                if failure is None:
+                                    failure = exc
+                                continue
+                            results[point] = _finish(
+                                point, payload, keys, cache)
+                            done += 1
+                            emit(point, "worker")
+                    if failure is not None:
+                        raise failure
+            finally:
+                if needs_path:
+                    _restore_worker_import_path(saved_path)
+
+    # Return in plan order regardless of completion order.
+    return {point: results[point] for point in plan}
+
+
+def _finish(point: ExperimentPoint, payload: dict,
+            keys: dict[ExperimentPoint, str],
+            cache: ResultCache | None) -> SimulationResult:
+    result = SimulationResult.from_dict(payload)
+    if cache is not None:
+        cache.put(keys[point], result)
+    return result
+
+
+def run_points(points, *, jobs: int | None = None,
+               cache: ResultCache | None = None, use_cache: bool = True,
+               progress: ProgressCallback | None = None,
+               ) -> dict[ExperimentPoint, SimulationResult]:
+    """Convenience wrapper: plan from explicit points, then run."""
+    return run_plan(plan_from_points(points), jobs=jobs, cache=cache,
+                    use_cache=use_cache, progress=progress)

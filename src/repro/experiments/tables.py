@@ -58,6 +58,22 @@ def render_table4() -> str:
         rows, title="Table 4: predictor access latencies (cycles)")
 
 
+def render_all(config: MachineConfig | None = None) -> dict[str, str]:
+    """Every configuration-derived artifact, keyed by result name.
+
+    Unlike the figures these need no simulation, so the experiment
+    service runs them inline; the keys match the files the benchmark
+    harness writes under ``benchmarks/results/``.
+    """
+    return {
+        "table1_arvi_access": render_table1(),
+        "table2_machine": render_table2(config),
+        "table3_benchmarks": render_table3(),
+        "table4_latencies": render_table4(),
+        "section2_sizing": storage_summary(config),
+    }
+
+
 def storage_summary(config: MachineConfig | None = None) -> str:
     """Section 2 / Section 4 hardware sizing claims, recomputed.
 

@@ -8,6 +8,7 @@ latency for a given address, performing fills along the way.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.pipeline.config import CacheConfig, MachineConfig, TLBConfig
@@ -107,6 +108,16 @@ class MemoryStats:
     l2_misses: int = 0
     itlb_misses: int = 0
     dtlb_misses: int = 0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemoryStats":
+        # Strict: a missing counter means a truncated/stale payload, and
+        # the result cache must treat that as a corrupt-entry miss.
+        return cls(**{f.name: int(data[f.name])
+                      for f in dataclasses.fields(cls)})
 
 
 class MemoryHierarchy:

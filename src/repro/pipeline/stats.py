@@ -8,7 +8,7 @@ calculated-vs-load branch classification and per-class accuracy
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 from repro.pipeline.caches import MemoryStats
 
@@ -28,6 +28,14 @@ class BranchClassStats:
         self.branches += 1
         if was_correct:
             self.correct += 1
+
+    def to_dict(self) -> dict:
+        return {"branches": self.branches, "correct": self.correct}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BranchClassStats":
+        return cls(branches=int(data["branches"]),
+                   correct=int(data["correct"]))
 
 
 @dataclass
@@ -61,6 +69,28 @@ class SimulationResult:
     stores: int = 0
     memory: MemoryStats = field(default_factory=MemoryStats)
     ras_accuracy: float = 1.0
+
+    # -- serialization --------------------------------------------------------
+    #
+    # The round trip is lossless (every field is an int, float or str), so
+    # a result replayed from the JSON cache or shipped back from a worker
+    # process compares equal (==) to the freshly computed object.  The
+    # experiment cache relies on this.
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        kwargs = {
+            f.name: data[f.name]
+            for f in fields(cls)
+            if f.name not in ("calculated", "load", "memory")
+        }
+        kwargs["calculated"] = BranchClassStats.from_dict(data["calculated"])
+        kwargs["load"] = BranchClassStats.from_dict(data["load"])
+        kwargs["memory"] = MemoryStats.from_dict(data["memory"])
+        return cls(**kwargs)
 
     # -- derived metrics ------------------------------------------------------
 

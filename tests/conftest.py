@@ -2,11 +2,32 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.isa import AsmBuilder, nez
 from repro.isa.regs import s0, t0, t1, t2, zero
 from repro.pipeline.config import machine_for_depth
+
+
+@pytest.fixture(scope="session", autouse=True)
+def isolated_result_cache(tmp_path_factory):
+    """Point the experiment-service result cache at a throwaway directory.
+
+    The unit suite must always *compute* results — replaying from the
+    repo-level persistent cache could mask simulation changes whose
+    author forgot to bump ``PLAN_SCHEMA_VERSION``, and test runs should
+    not mutate ``benchmarks/results/cache/`` as a side effect.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("result-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

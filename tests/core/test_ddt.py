@@ -189,6 +189,25 @@ def ddt_operations(draw):
     return num_regs, num_entries, ops
 
 
+@st.composite
+def ddt_scripts_with_rollback(draw):
+    """Random allocate/commit/rollback scripts (rollbacks interleaved).
+
+    The fifth tuple element picks the rollback target among the tokens
+    allocated so far at script-execution time.
+    """
+    num_regs = draw(st.integers(3, 8))
+    num_entries = draw(st.integers(2, 6))
+    ops = draw(st.lists(st.tuples(
+        st.sampled_from(["alloc", "alloc", "commit", "rollback"]),
+        st.integers(0, num_regs - 1),
+        st.lists(st.integers(0, num_regs - 1), max_size=2),
+        st.booleans(),
+        st.integers(0, 59),
+    ), max_size=60))
+    return num_regs, num_entries, ops
+
+
 class TestEquivalence:
     @given(ddt_operations())
     @settings(max_examples=120, deadline=None)
@@ -206,6 +225,37 @@ class TestEquivalence:
             for reg in range(num_regs):
                 assert reference.chain_tokens(reg) == fast.chain_tokens(reg)
             assert reference.in_flight == fast.in_flight
+
+    @given(ddt_scripts_with_rollback())
+    @settings(max_examples=120, deadline=None)
+    def test_interleaved_rollback_equivalence(self, script):
+        """The docstring-promised property: identical random
+        allocate/commit/rollback sequences (rollbacks *interleaved* with
+        later allocations, not just terminal) keep both implementations
+        in bit-for-bit agreement — tokens, chains, occupancy and the
+        squashed lists themselves."""
+        num_regs, num_entries, ops = script
+        reference = DDT(num_regs, num_entries)
+        fast = FastDDT(num_regs, num_entries)
+        fast._RENORM_INTERVAL = 8  # stress the window logic
+        allocated = []
+        for kind, dest, srcs, use_dest, pick in ops:
+            if kind == "alloc" and reference.in_flight < num_entries:
+                d = dest if use_dest else None
+                token = reference.allocate(d, srcs)
+                assert token == fast.allocate(d, srcs)
+                allocated.append(token)
+            elif kind == "commit" and reference.in_flight > 0:
+                assert reference.commit_oldest() == fast.commit_oldest()
+            elif kind == "rollback" and allocated:
+                # Any previously issued token is a legal target, even one
+                # already committed (then everything in flight squashes).
+                target = allocated[pick % len(allocated)]
+                assert (reference.rollback_to(target)
+                        == fast.rollback_to(target))
+            assert reference.in_flight == fast.in_flight
+            for reg in range(num_regs):
+                assert reference.chain_tokens(reg) == fast.chain_tokens(reg)
 
     @given(ddt_operations(), st.integers(0, 30))
     @settings(max_examples=60, deadline=None)

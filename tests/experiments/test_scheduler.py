@@ -1,0 +1,155 @@
+"""Scheduler layer: serial/parallel/cached execution paths agree.
+
+The acceptance grid for the experiment service: a 2-benchmark x 4-config
+x 2-depth sweep must produce identical keyed results under
+``REPRO_JOBS=1``, ``REPRO_JOBS=4`` and a cached re-run — and the cached
+replay must be at least 10x faster than the cold run.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.plan import (
+    ExperimentPoint,
+    build_plan,
+    plan_from_points,
+    point_key,
+)
+from repro.experiments.runner import run_suite
+from repro.experiments.scheduler import default_jobs, run_plan, run_points
+
+GRID = dict(configurations=("baseline", "current", "load back", "perfect"),
+            depths=(20, 40), benchmarks=("li", "vortex"),
+            scale=0.02, warmup=200)
+
+
+class TestPlan:
+    def test_grid_expansion_order_and_size(self):
+        plan = build_plan(GRID["configurations"], GRID["depths"],
+                          GRID["benchmarks"], scale=GRID["scale"],
+                          warmup=GRID["warmup"])
+        assert len(plan) == 2 * 4 * 2
+        first = plan.points[0]
+        assert first.grid_key == ("li", "baseline", 20)
+        # Every point is fully resolved.
+        assert all(p.scale == 0.02 and p.warmup == 200 for p in plan)
+
+    def test_deduplication(self):
+        point = ExperimentPoint("li", "current", 20, scale=0.02, warmup=200)
+        plan = plan_from_points([point, point, point])
+        assert len(plan) == 1
+
+    def test_unknown_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            plan_from_points([ExperimentPoint("li", "magic", 20)])
+
+    def test_execute_point_rejects_unresolved_points(self):
+        from repro.experiments.runner import execute_point
+
+        with pytest.raises(ValueError, match="resolve"):
+            execute_point(ExperimentPoint("li", "current", 20))
+
+
+class TestSchedulerEquivalence:
+    @pytest.fixture(scope="class")
+    def acceptance(self, tmp_path_factory):
+        """Cold serial run (populating a fresh cache), then parallel and
+        cached re-runs of the same grid, driven through ``REPRO_JOBS``."""
+        cache_dir = tmp_path_factory.mktemp("cache")
+        with pytest.MonkeyPatch.context() as env:
+            env.setenv("REPRO_JOBS", "1")
+            t0 = time.perf_counter()
+            serial = run_suite(cache=ResultCache(cache_dir / "serial"),
+                               **GRID)
+            cold_seconds = time.perf_counter() - t0
+
+            env.setenv("REPRO_JOBS", "4")
+            parallel = run_suite(cache=ResultCache(cache_dir / "parallel"),
+                                 **GRID)
+
+            env.setenv("REPRO_JOBS", "1")
+            warm_store = ResultCache(cache_dir / "warm")
+            run_suite(cache=warm_store, **GRID)
+            t0 = time.perf_counter()
+            cached = run_suite(cache=warm_store, **GRID)
+            warm_seconds = time.perf_counter() - t0
+
+        return dict(serial=serial, parallel=parallel, cached=cached,
+                    cold_seconds=cold_seconds, warm_seconds=warm_seconds,
+                    warm_store=warm_store)
+
+    def test_grid_is_fully_keyed(self, acceptance):
+        serial = acceptance["serial"]
+        assert len(serial) == 16
+        assert ("vortex", "perfect", 40) in serial
+
+    def test_parallel_matches_serial(self, acceptance):
+        assert acceptance["parallel"] == acceptance["serial"]
+
+    def test_cached_replay_matches_serial(self, acceptance):
+        assert acceptance["cached"] == acceptance["serial"]
+        assert acceptance["warm_store"].hits >= 16
+
+    def test_cached_replay_is_10x_faster(self, acceptance):
+        assert acceptance["warm_seconds"] * 10 <= acceptance["cold_seconds"], (
+            f"cached replay took {acceptance['warm_seconds']:.3f}s vs "
+            f"cold {acceptance['cold_seconds']:.3f}s")
+
+
+class TestSchedulerBehaviour:
+    def test_progress_events_stream(self, tmp_path):
+        events = []
+        run_suite(configurations=("baseline",), depths=(20,),
+                  benchmarks=("li",), scale=0.02, warmup=200, jobs=1,
+                  cache=ResultCache(tmp_path), progress=events.append)
+        assert [e.source for e in events] == ["serial"]
+        assert events[0].completed == events[0].total == 1
+        # Second run replays from cache and says so.
+        events.clear()
+        run_suite(configurations=("baseline",), depths=(20,),
+                  benchmarks=("li",), scale=0.02, warmup=200, jobs=1,
+                  cache=ResultCache(tmp_path), progress=events.append)
+        assert [e.source for e in events] == ["cache"]
+
+    def test_use_cache_false_recomputes(self, tmp_path):
+        store = ResultCache(tmp_path)
+        kw = dict(configurations=("baseline",), depths=(20,),
+                  benchmarks=("li",), scale=0.02, warmup=200, jobs=1)
+        first = run_suite(cache=store, **kw)
+        store_hits_before = store.hits
+        second = run_suite(use_cache=False, **kw)
+        assert second == first
+        assert store.hits == store_hits_before  # store untouched
+
+    def test_parallel_pool_path(self, tmp_path):
+        """Exercise the ProcessPoolExecutor branch with >1 pending point."""
+        plan = build_plan(("baseline", "current"), (20,), ("li",),
+                          scale=0.02, warmup=200)
+        parallel = run_plan(plan, jobs=2, cache=None, use_cache=False)
+        serial = run_plan(plan, jobs=1, cache=None, use_cache=False)
+        assert parallel == serial
+
+    def test_failed_point_does_not_discard_sibling_results(self, tmp_path):
+        """One bad point must not throw away its siblings' completed
+        work: they still land in the cache so a retry after the fix only
+        recomputes the failed point."""
+        store = ResultCache(tmp_path)
+        good = [ExperimentPoint("li", "baseline", 20, scale=0.02,
+                                warmup=200),
+                ExperimentPoint("vortex", "baseline", 20, scale=0.02,
+                                warmup=200)]
+        bad = ExperimentPoint("no-such-benchmark", "baseline", 20,
+                              scale=0.02, warmup=200)
+        with pytest.raises(Exception):
+            run_points([good[0], bad, good[1]], jobs=2, cache=store)
+        assert all(point_key(p) in store for p in good)
+
+    def test_default_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        assert default_jobs() >= 1
+        monkeypatch.delenv("REPRO_JOBS")
+        assert default_jobs() >= 1
