@@ -95,6 +95,11 @@ class DDT(_DDTBase):
     def in_flight(self) -> int:
         return self._count
 
+    @property
+    def next_token(self) -> int:
+        """Token the next allocation will receive (the DDT head)."""
+        return self._next_token
+
     def allocate(self, dest: int | None, srcs: Iterable[int]) -> int:
         """Insert a renamed instruction; returns its token.
 

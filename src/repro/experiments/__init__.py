@@ -21,6 +21,7 @@ from repro.experiments.report import (
     arithmetic_mean,
     format_table,
     geometric_mean,
+    render_speculation_comparison,
 )
 from repro.experiments.runner import (
     CONFIGURATIONS,
@@ -37,6 +38,7 @@ from repro.experiments.scheduler import (
 )
 from repro.experiments.tables import (
     render_all,
+    render_speculation_modes,
     render_table1,
     render_table2,
     render_table3,
@@ -62,6 +64,8 @@ __all__ = [
     "plan_from_points",
     "point_key",
     "render_all",
+    "render_speculation_comparison",
+    "render_speculation_modes",
     "render_table1",
     "render_table2",
     "render_table3",

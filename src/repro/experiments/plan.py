@@ -24,12 +24,14 @@ from dataclasses import dataclass, fields
 from typing import Iterable, Sequence
 
 from repro.core.arvi import ARVIConfig
+from repro.pipeline.config import SPECULATION_MODES
 
 CONFIGURATIONS = ("baseline", "current", "load back", "perfect")
 
 #: Versions the *key format itself* (which fields the hash covers and
 #: how); simulation-code changes are handled by :func:`code_fingerprint`.
-PLAN_SCHEMA_VERSION = 1
+#: v2: the speculation mode joined the key payload.
+PLAN_SCHEMA_VERSION = 2
 
 
 @functools.lru_cache(maxsize=1)
@@ -83,10 +85,12 @@ class ExperimentPoint:
     warmup: int | None = None
     seed: int = 1
     arvi_config: ARVIConfig | None = None
+    speculation: str = "redirect"
 
     def resolve(self, *, scale: float | None = None,
                 warmup: int | None = None, seed: int | None = None,
-                arvi_config: ARVIConfig | None = None) -> "ExperimentPoint":
+                arvi_config: ARVIConfig | None = None,
+                speculation: str | None = None) -> "ExperimentPoint":
         """Fill every unset knob: explicit override > point field > env."""
         scale = scale if scale is not None else self.scale
         warmup = warmup if warmup is not None else self.warmup
@@ -103,6 +107,8 @@ class ExperimentPoint:
             warmup=default_warmup() if warmup is None else int(warmup),
             seed=self.seed if seed is None else int(seed),
             arvi_config=arvi,
+            speculation=(self.speculation if speculation is None
+                         else str(speculation)),
         )
 
     @property
@@ -115,6 +121,10 @@ class ExperimentPoint:
             raise ValueError(
                 f"unknown configuration {self.configuration!r}; "
                 f"expected one of {CONFIGURATIONS}")
+        if self.speculation not in SPECULATION_MODES:
+            raise ValueError(
+                f"unknown speculation mode {self.speculation!r}; "
+                f"expected one of {SPECULATION_MODES}")
 
 
 def point_key(point: ExperimentPoint) -> str:
@@ -137,6 +147,7 @@ def point_key(point: ExperimentPoint) -> str:
         "scale": point.scale,
         "warmup": point.warmup,
         "seed": point.seed,
+        "speculation": point.speculation,
         "arvi": None if arvi is None else {
             f.name: getattr(arvi, f.name) for f in fields(ARVIConfig)
         },
@@ -163,11 +174,13 @@ def build_plan(configurations: Sequence[str] = CONFIGURATIONS,
                benchmarks: Iterable[str] = (), *,
                scale: float | None = None, warmup: int | None = None,
                seed: int = 1,
-               arvi_config: ARVIConfig | None = None) -> ExperimentPlan:
+               arvi_config: ARVIConfig | None = None,
+               speculation: str = "redirect") -> ExperimentPlan:
     """Expand a sweep into a plan (grid order: depth, benchmark, config)."""
     points = [
         ExperimentPoint(benchmark, configuration, depth).resolve(
-            scale=scale, warmup=warmup, seed=seed, arvi_config=arvi_config)
+            scale=scale, warmup=warmup, seed=seed, arvi_config=arvi_config,
+            speculation=speculation)
         for depth in depths
         for benchmark in benchmarks
         for configuration in configurations

@@ -36,6 +36,46 @@ def format_table(headers: Sequence[str],
     return "\n".join(lines)
 
 
+SPECULATION_HEADERS = (
+    "benchmark", "config", "depth", "speculation", "IPC", "accuracy",
+    "wrong-path", "wp/commit", "rollbacks", "wp fills",
+)
+
+
+def speculation_row(result) -> list[object]:
+    """One table row surfacing a result's wrong-path/pollution counters.
+
+    ``result`` is any :class:`~repro.pipeline.stats.SimulationResult`-like
+    object; redirect-mode rows simply show zeros, so grids mixing both
+    speculation modes render uniformly.  (``squashed_tokens`` is omitted:
+    today every wrong-path instruction allocates exactly one DDT entry,
+    so it duplicates the wrong-path column — the engine tests assert
+    that invariant.)
+    """
+    return [
+        result.benchmark, result.configuration, result.pipeline_depth,
+        result.speculation, result.ipc, result.prediction_accuracy,
+        result.wrong_path_instructions, result.wrong_path_ratio,
+        result.rollbacks, result.wrong_path_fills,
+    ]
+
+
+def render_speculation_comparison(results: Iterable,
+                                  *, title: str | None = None) -> str:
+    """Render a grid of results (any mix of speculation modes) as a table.
+
+    Rows are sorted (benchmark, config, depth, speculation) so the
+    redirect/wrongpath pair for each point sits together; pass the merged
+    values of two ``run_suite`` calls to compare modes without custom
+    scripts.
+    """
+    rows = sorted((speculation_row(result) for result in results),
+                  key=lambda row: (row[0], row[1], row[2], row[3]))
+    return format_table(
+        list(SPECULATION_HEADERS), rows,
+        title=title or "Speculation modes: wrong-path and pollution counters")
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     if not values:
         return 0.0

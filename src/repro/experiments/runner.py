@@ -65,7 +65,8 @@ def execute_point(point: ExperimentPoint) -> SimulationResult:
             "point.resolve() first or use run_point/run_suite")
     program = get_program(point.benchmark, scale=point.scale,
                           seed=point.seed)
-    config = machine_for_depth(point.pipeline_depth)
+    config = machine_for_depth(point.pipeline_depth,
+                               speculation=point.speculation)
 
     if point.configuration == "baseline":
         predictor = build_predictor(LevelTwoKind.HYBRID, config)
@@ -84,10 +85,12 @@ def execute_point(point: ExperimentPoint) -> SimulationResult:
 
 def run_point(point: ExperimentPoint, *, scale: float | None = None,
               warmup: int | None = None, seed: int | None = None,
-              arvi_config: ARVIConfig | None = None) -> SimulationResult:
+              arvi_config: ARVIConfig | None = None,
+              speculation: str | None = None) -> SimulationResult:
     """Simulate one experiment point and return its statistics."""
     resolved = point.resolve(scale=scale, warmup=warmup, seed=seed,
-                             arvi_config=arvi_config)
+                             arvi_config=arvi_config,
+                             speculation=speculation)
     resolved.validate()
     return execute_point(resolved)
 
@@ -96,6 +99,7 @@ def run_suite(configurations=CONFIGURATIONS, depths=(20,),
               benchmarks=BENCHMARKS, *, scale: float | None = None,
               warmup: int | None = None, seed: int = 1,
               arvi_config: ARVIConfig | None = None,
+              speculation: str = "redirect",
               jobs: int | None = None, cache: ResultCache | None = None,
               use_cache: bool = True,
               progress: ProgressCallback | None = None,
@@ -106,9 +110,13 @@ def run_suite(configurations=CONFIGURATIONS, depths=(20,),
     honours ``REPRO_JOBS`` (default CPU count, ``1`` = serial);
     ``cache``/``use_cache`` control result replay (default store under
     ``benchmarks/results/cache/``, disable globally with ``REPRO_CACHE=0``).
+    ``speculation`` selects the engine's wrong-path model for every point
+    of the grid ("redirect" | "wrongpath"); run the suite once per mode to
+    sweep it — each mode has its own cache keys, so replays never mix.
     """
     plan = build_plan(configurations, depths, benchmarks, scale=scale,
-                      warmup=warmup, seed=seed, arvi_config=arvi_config)
+                      warmup=warmup, seed=seed, arvi_config=arvi_config,
+                      speculation=speculation)
     results = run_plan(plan, jobs=jobs, cache=cache, use_cache=use_cache,
                        progress=progress)
     return {point.grid_key: result for point, result in results.items()}

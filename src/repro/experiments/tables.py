@@ -48,6 +48,30 @@ def render_table3() -> str:
         title="Table 3: SPEC95 integer benchmarks (synthetic stand-ins)")
 
 
+SPECULATION_ROWS = (
+    ("redirect",
+     "accounting only: misprediction restarts fetch after resolve; "
+     "no wrong-path instructions (seed-identical results)"),
+    ("wrongpath",
+     "materialized: checkpoint at the mispredicted branch, wrong-path "
+     "fetch/rename/cache pollution, DDT rollback_to on resolve"),
+)
+
+
+def render_speculation_modes() -> str:
+    """The engine's speculation models and their counters (DESIGN.md §2.2)."""
+    counters = [
+        ("wrong_path_instructions", "instructions fetched past a mispredict"),
+        ("rollbacks / squashed_tokens", "in-engine DDT rollback_to activity"),
+        ("memory.wrong_path_*", "cache/TLB pollution by squashed accesses"),
+    ]
+    modes = format_table(["mode", "model"], SPECULATION_ROWS,
+                         title="Speculation modes (MachineConfig.speculation)")
+    stats = format_table(["counter", "meaning"], counters,
+                         title="Wrong-path counters (SimulationResult)")
+    return f"{modes}\n\n{stats}"
+
+
 def render_table4() -> str:
     rows = [
         [name, size, f"{l20}", f"{l40}", f"{l60}"]
@@ -71,6 +95,7 @@ def render_all(config: MachineConfig | None = None) -> dict[str, str]:
         "table3_benchmarks": render_table3(),
         "table4_latencies": render_table4(),
         "section2_sizing": storage_summary(config),
+        "speculation_modes": render_speculation_modes(),
     }
 
 

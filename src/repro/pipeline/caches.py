@@ -4,6 +4,12 @@ These are *timing* models only: data values come from the functional core,
 so the caches track tags and recency, not contents.  ``MemoryHierarchy``
 composes L1I/L1D over a unified L2 over main memory and returns the access
 latency for a given address, performing fills along the way.
+
+Wrong-path accesses (``wrong_path=True``, issued by the engine's
+``wrongpath`` speculation mode) mutate tag/recency state exactly like
+demand accesses — that *is* the pollution/prefetch effect being modelled —
+but are counted separately, so demand miss rates stay comparable across
+speculation modes and the pollution itself is measurable.
 """
 
 from __future__ import annotations
@@ -29,20 +35,33 @@ class SetAssociativeCache:
         self._tick = 0
         self.hits = 0
         self.misses = 0
+        self.wrong_path_hits = 0
+        self.wrong_path_misses = 0
 
     def _locate(self, addr: int) -> tuple[dict[int, int], int]:
         line = addr >> self._line_shift
         return self._sets[line % self._num_sets], line // self._num_sets
 
-    def access(self, addr: int) -> bool:
-        """Look up and fill on miss; returns True on hit."""
+    def access(self, addr: int, *, wrong_path: bool = False) -> bool:
+        """Look up and fill on miss; returns True on hit.
+
+        ``wrong_path`` accesses update tag/recency state identically (a
+        wrong-path fill is a real fill — pollution) but count into the
+        separate wrong-path statistics.
+        """
         self._tick += 1
         cache_set, tag = self._locate(addr)
         if tag in cache_set:
             cache_set[tag] = self._tick
-            self.hits += 1
+            if wrong_path:
+                self.wrong_path_hits += 1
+            else:
+                self.hits += 1
             return True
-        self.misses += 1
+        if wrong_path:
+            self.wrong_path_misses += 1
+        else:
+            self.misses += 1
         if len(cache_set) >= self.config.assoc:
             victim = min(cache_set, key=cache_set.__getitem__)
             del cache_set[victim]
@@ -77,8 +96,10 @@ class TLB:
         self._tick = 0
         self.hits = 0
         self.misses = 0
+        self.wrong_path_hits = 0
+        self.wrong_path_misses = 0
 
-    def access(self, addr: int) -> int:
+    def access(self, addr: int, *, wrong_path: bool = False) -> int:
         """Translate; returns 0 on hit, the miss penalty on a TLB miss."""
         self._tick += 1
         page = addr >> self._page_shift
@@ -86,9 +107,15 @@ class TLB:
         tag = page // self._num_sets
         if tag in tlb_set:
             tlb_set[tag] = self._tick
-            self.hits += 1
+            if wrong_path:
+                self.wrong_path_hits += 1
+            else:
+                self.hits += 1
             return 0
-        self.misses += 1
+        if wrong_path:
+            self.wrong_path_misses += 1
+        else:
+            self.misses += 1
         if len(tlb_set) >= self.config.assoc:
             victim = min(tlb_set, key=tlb_set.__getitem__)
             del tlb_set[victim]
@@ -108,6 +135,16 @@ class MemoryStats:
     l2_misses: int = 0
     itlb_misses: int = 0
     dtlb_misses: int = 0
+    # Wrong-path (speculative) accesses, counted separately so demand miss
+    # rates stay comparable across speculation modes; a wrong-path miss is
+    # a fill performed for a squashed instruction — the pollution metric.
+    wrong_path_l1i_accesses: int = 0
+    wrong_path_l1i_misses: int = 0
+    wrong_path_l1d_accesses: int = 0
+    wrong_path_l1d_misses: int = 0
+    wrong_path_l2_misses: int = 0
+    wrong_path_itlb_misses: int = 0
+    wrong_path_dtlb_misses: int = 0
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -137,20 +174,20 @@ class MemoryHierarchy:
         self.dtlb = TLB(config.dtlb)
 
     def _access(self, level1: SetAssociativeCache, tlb: TLB,
-                addr: int) -> int:
-        latency = tlb.access(addr)
-        if level1.access(addr):
+                addr: int, wrong_path: bool = False) -> int:
+        latency = tlb.access(addr, wrong_path=wrong_path)
+        if level1.access(addr, wrong_path=wrong_path):
             return latency + level1.config.hit_latency
         latency += level1.config.hit_latency  # detect the miss
-        if self.l2.access(addr):
+        if self.l2.access(addr, wrong_path=wrong_path):
             return latency + self.l2.config.hit_latency
         return latency + self.l2.config.hit_latency + self.config.memory_latency
 
-    def instruction_latency(self, addr: int) -> int:
-        return self._access(self.l1i, self.itlb, addr)
+    def instruction_latency(self, addr: int, *, wrong_path: bool = False) -> int:
+        return self._access(self.l1i, self.itlb, addr, wrong_path)
 
-    def data_latency(self, addr: int) -> int:
-        return self._access(self.l1d, self.dtlb, addr)
+    def data_latency(self, addr: int, *, wrong_path: bool = False) -> int:
+        return self._access(self.l1d, self.dtlb, addr, wrong_path)
 
     def stats(self) -> MemoryStats:
         return MemoryStats(
@@ -158,4 +195,13 @@ class MemoryHierarchy:
             l1d_hits=self.l1d.hits, l1d_misses=self.l1d.misses,
             l2_hits=self.l2.hits, l2_misses=self.l2.misses,
             itlb_misses=self.itlb.misses, dtlb_misses=self.dtlb.misses,
+            wrong_path_l1i_accesses=(self.l1i.wrong_path_hits
+                                     + self.l1i.wrong_path_misses),
+            wrong_path_l1i_misses=self.l1i.wrong_path_misses,
+            wrong_path_l1d_accesses=(self.l1d.wrong_path_hits
+                                     + self.l1d.wrong_path_misses),
+            wrong_path_l1d_misses=self.l1d.wrong_path_misses,
+            wrong_path_l2_misses=self.l2.wrong_path_misses,
+            wrong_path_itlb_misses=self.itlb.wrong_path_misses,
+            wrong_path_dtlb_misses=self.dtlb.wrong_path_misses,
         )

@@ -20,6 +20,11 @@ from repro.isa.instructions import NUM_LOGICAL_REGS
 
 PIPELINE_DEPTHS = (20, 40, 60)
 
+#: Valid ``MachineConfig.speculation`` values: ``redirect`` is the seed's
+#: accounting model (no wrong-path instructions), ``wrongpath`` materializes
+#: the wrong-path stream with checkpoint/rollback recovery (DESIGN.md §2.2).
+SPECULATION_MODES = ("redirect", "wrongpath")
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -93,6 +98,19 @@ class MachineConfig:
     memory_latency: int = 60
     predictor_latencies: PredictorLatencies = field(
         default_factory=PredictorLatencies)
+    # Speculation model (DESIGN.md §2.2): "redirect" keeps the seed's
+    # accounting (bit-for-bit unchanged results); "wrongpath" materializes
+    # wrong-path fetch with checkpoint/rollback recovery.
+    speculation: str = "redirect"
+    # Safety cap on wrong-path instructions per episode, on top of the
+    # fetch-bandwidth x resolve-delay window (ROB-sized by default).
+    wrongpath_fetch_limit: int = 256
+
+    def __post_init__(self) -> None:
+        if self.speculation not in SPECULATION_MODES:
+            raise ValueError(
+                f"speculation must be one of {SPECULATION_MODES}, "
+                f"got {self.speculation!r}")
 
     @property
     def num_phys_regs(self) -> int:
@@ -166,6 +184,9 @@ def table2_rows(config: MachineConfig) -> list[tuple[str, str]]:
     ] + [
         ("Memory latency", f"{config.memory_latency} cycles initial"),
         ("Pipeline depth", f"{config.pipeline_depth} stages"),
+        ("Speculation", config.speculation
+         + (f" (wrong-path fetch limit {config.wrongpath_fetch_limit})"
+            if config.speculation == "wrongpath" else "")),
     ]
 
 

@@ -20,9 +20,23 @@ consult the two-level predictor; in ARVI configurations the engine builds
 the RSE register-set view according to the value mode (current / load
 back / perfect).
 
-Wrong-path instructions are not materialized — their cost is carried by
-the redirect accounting; DDT rollback is exercised in unit tests instead
-(DESIGN.md §2 lists every such substitution).
+Two speculation models are available (``MachineConfig.speculation``,
+DESIGN.md §2.2-§2.3):
+
+* ``redirect`` (default) — wrong-path instructions are not materialized;
+  their cost is carried by the redirect accounting alone, and results are
+  bit-for-bit identical to the seed engine.
+* ``wrongpath`` — on a misprediction the engine checkpoints the rename
+  map, shadow structures, predictor histories and DDT head
+  (``repro.speculation.checkpoint``), synthesizes the wrong-path
+  instruction stream against copy-on-write state views
+  (``repro.speculation.wrongpath``), renames it into the DDT and lets it
+  pollute the memory hierarchy, then squashes it through the DDT's
+  ROB-style ``rollback_to`` when the branch resolves.  Wrong-path
+  instructions do not contend for functional units or fetch/commit
+  bandwidth (their timing cost stays with the redirect accounting); their
+  modelled effects are cache/TLB pollution, DDT/rename occupancy and
+  speculative predictor history, repaired by checkpoint restore.
 """
 
 from __future__ import annotations
@@ -62,6 +76,8 @@ from repro.predictors.gskew import level1_gskew, level2_gskew
 from repro.predictors.perfect import PerfectPredictor
 from repro.predictors.ras import ReturnAddressStack
 from repro.predictors.twolevel import LevelTwoKind, TwoLevelPredictor
+from repro.speculation.checkpoint import CrossCheckedDDT, RecoveryManager
+from repro.speculation.wrongpath import WrongPathCore
 
 _REDIRECT_LATENCY = 1  # cycles to restart fetch after a resolved mispredict
 
@@ -103,13 +119,18 @@ class PipelineEngine:
                  predictor: TwoLevelPredictor,
                  *, value_mode: ValueMode = ValueMode.CURRENT,
                  warmup_instructions: int = 0,
-                 observers: list[Observer] | None = None) -> None:
+                 observers: list[Observer] | None = None,
+                 ddt_cross_check: bool = False) -> None:
         self.program = program
         self.config = config
         self.predictor = predictor
         self.value_mode = value_mode
         self.warmup_instructions = warmup_instructions
         self.observers = observers or []
+        # Recovery machinery exists only in wrongpath mode, so the
+        # redirect path stays byte-identical to the seed engine.
+        self.recovery = (RecoveryManager()
+                         if config.speculation == "wrongpath" else None)
 
         self.core = FunctionalCore(program)
         self.memory = MemoryHierarchy(config)
@@ -122,7 +143,11 @@ class PipelineEngine:
         self.ras = ReturnAddressStack()
 
         n_pregs = config.num_phys_regs
-        self.ddt = FastDDT(n_pregs, config.rob_entries)
+        # Cross-check mode mirrors every DDT operation into the
+        # hardware-faithful DDT (tests of the in-engine rollback).
+        self.ddt = (CrossCheckedDDT(n_pregs, config.rob_entries)
+                    if ddt_cross_check
+                    else FastDDT(n_pregs, config.rob_entries))
         self.chains = ChainInfoTable()
         self.shadow_values = ShadowRegisterFile(n_pregs)
         self.shadow_map = ShadowMapTable(n_pregs)
@@ -152,6 +177,7 @@ class PipelineEngine:
             configuration=self._config_name(),
             pipeline_depth=config.pipeline_depth,
             warmup_instructions=warmup_instructions,
+            speculation=config.speculation,
         )
         self._measured_start_cycle = 0
         self._line_mask = ~(config.icache.line_bytes - 1)
@@ -175,6 +201,12 @@ class PipelineEngine:
         result.cycles = max(self._last_commit - self._measured_start_cycle, 0)
         result.memory = self.memory.stats()
         result.ras_accuracy = self.ras.accuracy
+        if self.recovery is not None:
+            # The recovery manager is the source of truth for squash
+            # accounting (wrong_path_* counters stay per-episode in
+            # _run_wrong_path).
+            result.rollbacks = self.recovery.rollbacks
+            result.squashed_tokens = self.recovery.squashed_tokens
         arvi = self.predictor.arvi
         if arvi is not None:
             result.arvi_lookups = arvi.bvit.stats.lookups
@@ -267,7 +299,7 @@ class PipelineEngine:
         mispredicted = False
         if dyn.is_cond_branch:
             mispredicted = self._resolve_branch(
-                dyn, decision, fetch, complete, measured)
+                dyn, decision, fetch, complete, measured, token)
         elif dyn.op == Op.JAL:
             self.ras.push(dyn.pc + 1)
         elif dyn.op == Op.JR:
@@ -401,7 +433,8 @@ class PipelineEngine:
         )
 
     def _resolve_branch(self, dyn: DynInst, decision, fetch: int,
-                        complete: int, measured: bool) -> bool:
+                        complete: int, measured: bool,
+                        branch_token: int) -> bool:
         taken = bool(dyn.taken)
         final_correct = decision.final_pred == taken
         l1_correct = decision.l1_pred == taken
@@ -410,6 +443,12 @@ class PipelineEngine:
             # Full misprediction: fetch restarts after the branch executes.
             self._fetch_barrier = max(
                 self._fetch_barrier, complete + _REDIRECT_LATENCY)
+            if self.recovery is not None:
+                # Materialize the wrong path fetched in the branch shadow,
+                # then squash it (wrongpath mode; runs during warmup too —
+                # pollution is a state effect, like cache training).
+                self._run_wrong_path(dyn, decision, fetch, complete,
+                                     branch_token)
         elif decision.override:
             # Correct override: the wrong-path fetches since the branch are
             # squashed when the level-2 prediction arrives.
@@ -439,6 +478,86 @@ class PipelineEngine:
                 else:
                     result.calculated.record(final_correct)
         return not final_correct
+
+    # -- wrong-path speculation (DESIGN.md §2.2-§2.3) ---------------------------------
+
+    def _wrong_path_predict(self, pc: int) -> bool:
+        """Steer wrong-path fetch at a speculative branch.
+
+        The level-1 predictor decides (the frontend never waits for level
+        2), and its predicted outcome is shifted into the speculative
+        histories — the corruption the checkpoint restore later repairs.
+        """
+        taken = bool(self.predictor.level1.predict(pc))
+        self.predictor.speculate(pc, taken)
+        return taken
+
+    def _run_wrong_path(self, dyn: DynInst, decision, fetch: int,
+                        complete: int, branch_token: int) -> None:
+        """One wrong-path episode: checkpoint, fetch+rename+pollute, squash.
+
+        The machine fetched down the predicted direction from the branch's
+        fetch cycle until resolution, so the episode budget is fetch
+        bandwidth x resolve delay (capped by ``wrongpath_fetch_limit`` and
+        by DDT/rename capacity).  Wrong-path instructions rename into the
+        DDT, touch the I-side for every new fetch line and the D-side for
+        every load; at the end the recovery manager rolls everything back
+        to the checkpoint via ``rollback_to``.
+        """
+        config = self.config
+        resolve_delay = complete + _REDIRECT_LATENCY - fetch
+        budget = min(resolve_delay * config.fetch_width,
+                     config.wrongpath_fetch_limit)
+        if budget <= 0:
+            return
+        checkpoint = self.recovery.capture(self, branch_token)
+        # The wrong path starts at the *predicted* target: the taken
+        # target when the machine guessed taken, else the fall-through.
+        wrong_target = dyn.inst.target if decision.final_pred else dyn.pc + 1
+        core = WrongPathCore(self.program, self.core.registers,
+                             self.core.memory, wrong_target,
+                             self._wrong_path_predict)
+        result = self.result
+        memory = self.memory
+        rename = self.rename
+        ddt = self.ddt
+        fetched = 0
+        while fetched < budget and ddt.in_flight < config.rob_entries:
+            wp = core.step()
+            if wp is None:
+                break
+            inst = wp.inst
+            needs_dest = (inst.rd is not None and inst.rd != 0
+                          and not wp.is_store)
+            if needs_dest and rename.free_count == 0:
+                break  # frontend stalls on the free list until the squash
+            fetched += 1
+            # I-side pollution: every new fetch line is a real access.
+            byte_pc = wp.pc * 4
+            line = byte_pc & self._line_mask
+            if line != self._last_fetch_line:
+                self._last_fetch_line = line
+                memory.instruction_latency(byte_pc, wrong_path=True)
+            src_pregs = rename.lookup_many(inst.sources())
+            dest_preg = None
+            if needs_dest:
+                dest_preg, _displaced = rename.rename_dest(inst.rd)
+                checkpoint.wrong_path_pregs.append(dest_preg)
+                self.shadow_map.record(dest_preg, inst.rd)
+            token = ddt.allocate(dest_preg, src_pregs)
+            self.chains.insert(token, dest_preg, src_pregs,
+                               is_load=wp.is_load)
+            if wp.is_load and wp.addr is not None:
+                # D-side pollution: the speculative load really fills.
+                memory.data_latency(wp.addr, wrong_path=True)
+                result.wrong_path_loads += 1
+            elif wp.is_store:
+                # Stores wait in the LSQ and never reach memory.
+                result.wrong_path_stores += 1
+            elif wp.is_cond_branch:
+                result.wrong_path_branches += 1
+        result.wrong_path_instructions += fetched
+        self.recovery.restore(self, checkpoint)
 
     # -- DDT retirement -----------------------------------------------------------------
 
@@ -482,10 +601,12 @@ def simulate(program: Program, config: MachineConfig,
              warmup_instructions: int = 0,
              max_instructions: int = 10_000_000,
              arvi_config: ARVIConfig | None = None,
-             observers: list[Observer] | None = None) -> SimulationResult:
+             observers: list[Observer] | None = None,
+             ddt_cross_check: bool = False) -> SimulationResult:
     """One-call simulation helper used by examples and experiments."""
     predictor = build_predictor(kind, config, arvi_config)
     engine = PipelineEngine(
         program, config, predictor, value_mode=value_mode,
-        warmup_instructions=warmup_instructions, observers=observers)
+        warmup_instructions=warmup_instructions, observers=observers,
+        ddt_cross_check=ddt_cross_check)
     return engine.run(max_instructions)

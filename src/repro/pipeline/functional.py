@@ -4,9 +4,14 @@ The timing engine is oracle-driven: a :class:`FunctionalCore` executes the
 program in architectural order and produces one :class:`DynInst` record per
 dynamic instruction (values, branch outcomes, effective addresses).  The
 out-of-order timing model consumes this stream, attaching cycle timestamps
-and driving the predictors and the DDT.  Wrong-path instructions are never
-materialized; their cost is modelled by the engine's redirect accounting
-(see DESIGN.md §2).
+and driving the predictors and the DDT.
+
+Instruction semantics live in :func:`execute_instruction`, which is
+re-entrant over an abstract *state* (register file + memory accessors +
+``halted`` flag).  :class:`FunctionalCore` is the architectural state; the
+speculation subsystem (``repro.speculation.wrongpath``) drives the same
+function over copy-on-write views to synthesize wrong-path instruction
+streams without mutating architectural state (DESIGN.md §2.2).
 """
 
 from __future__ import annotations
@@ -114,110 +119,8 @@ class FunctionalCore:
         inst = self.program.instructions[self.pc]
         dyn = DynInst(self.instruction_count, self.pc, inst)
         self.instruction_count += 1
-        regfile = self.registers
-        op = inst.op
-
-        a = regfile[inst.rs1] if inst.rs1 is not None else 0
-        b = regfile[inst.rs2] if inst.rs2 is not None else 0
-        dyn.sval1, dyn.sval2 = a, b
-        result: int | None = None
-        next_pc = self.pc + 1
-
-        if op is Op.ADD:
-            result = to_u32(a + b)
-        elif op is Op.SUB:
-            result = to_u32(a - b)
-        elif op is Op.AND:
-            result = a & b
-        elif op is Op.OR:
-            result = a | b
-        elif op is Op.XOR:
-            result = a ^ b
-        elif op is Op.NOR:
-            result = to_u32(~(a | b))
-        elif op is Op.SLL:
-            result = to_u32(a << (b & 31))
-        elif op is Op.SRL:
-            result = a >> (b & 31)
-        elif op is Op.SRA:
-            result = to_u32(to_s32(a) >> (b & 31))
-        elif op is Op.SLT:
-            result = 1 if to_s32(a) < to_s32(b) else 0
-        elif op is Op.SLTU:
-            result = 1 if a < b else 0
-        elif op is Op.MULT:
-            result = to_u32(to_s32(a) * to_s32(b))
-        elif op is Op.DIV:
-            sa, sb = to_s32(a), to_s32(b)
-            result = 0 if sb == 0 else to_u32(int(sa / sb))
-        elif op is Op.REM:
-            sa, sb = to_s32(a), to_s32(b)
-            result = 0 if sb == 0 else to_u32(sa - int(sa / sb) * sb)
-        elif op is Op.ADDI:
-            result = to_u32(a + inst.imm)
-        elif op is Op.ANDI:
-            result = a & (inst.imm & 0xFFFF)
-        elif op is Op.ORI:
-            result = a | (inst.imm & 0xFFFF)
-        elif op is Op.XORI:
-            result = a ^ (inst.imm & 0xFFFF)
-        elif op is Op.SLTI:
-            result = 1 if to_s32(a) < inst.imm else 0
-        elif op is Op.SLLI:
-            result = to_u32(a << (inst.imm & 31))
-        elif op is Op.SRLI:
-            result = a >> (inst.imm & 31)
-        elif op is Op.SRAI:
-            result = to_u32(to_s32(a) >> (inst.imm & 31))
-        elif op is Op.LUI:
-            result = to_u32(inst.imm << 16)
-        elif op is Op.LW:
-            dyn.addr = to_u32(a + inst.imm)
-            result = self.load_word(dyn.addr)
-        elif op is Op.LB:
-            dyn.addr = to_u32(a + inst.imm)
-            result = to_u32(self.load_byte(dyn.addr, signed=True))
-        elif op is Op.LBU:
-            dyn.addr = to_u32(a + inst.imm)
-            result = self.load_byte(dyn.addr, signed=False)
-        elif op is Op.SW:
-            dyn.addr = to_u32(a + inst.imm)
-            dyn.store_value = b
-            self.store_word(dyn.addr, b)
-        elif op is Op.SB:
-            dyn.addr = to_u32(a + inst.imm)
-            dyn.store_value = b & 0xFF
-            self.store_byte(dyn.addr, b)
-        elif dyn.is_cond_branch:
-            taken = branch_taken(op, a, b)
-            dyn.taken = taken
-            if taken:
-                next_pc = inst.target  # type: ignore[assignment]
-        elif op is Op.J:
-            next_pc = inst.target  # type: ignore[assignment]
-        elif op is Op.JAL:
-            result = self.pc + 1
-            next_pc = inst.target  # type: ignore[assignment]
-        elif op is Op.JR:
-            next_pc = a
-        elif op is Op.JALR:
-            result = self.pc + 1
-            next_pc = a
-        elif op is Op.NOP:
-            pass
-        elif op is Op.HALT:
-            self.halted = True
-            next_pc = self.pc
-        else:  # pragma: no cover - all opcodes handled above
-            raise ExecutionError(f"unimplemented opcode {op!r}")
-
-        if result is not None and inst.rd is not None and inst.rd != 0:
-            regfile[inst.rd] = result
-        if inst.rd == 0:
-            result = 0 if result is not None else None
-        dyn.result = result
-        dyn.next_pc = next_pc
-        self.pc = next_pc
+        execute_instruction(self, dyn)
+        self.pc = dyn.next_pc
         return dyn
 
     def run(self, max_instructions: int = 10_000_000):
@@ -233,3 +136,122 @@ class FunctionalCore:
         for _ in self.run(max_instructions):
             pass
         return self.instruction_count
+
+
+def execute_instruction(state, dyn: DynInst) -> DynInst:
+    """Execute ``dyn.inst`` against ``state``, filling in ``dyn``'s effects.
+
+    ``state`` is any object exposing the architectural interface:
+    ``registers`` (32-entry indexable), ``load_word`` / ``load_byte`` /
+    ``store_word`` / ``store_byte``, and a writable ``halted`` flag.
+    :class:`FunctionalCore` is the real architectural state; the wrong-path
+    fetcher passes copy-on-write views so speculative execution leaves the
+    architectural state untouched.  Register writes and memory stores go
+    through ``state``; ``dyn.next_pc`` carries the control-flow outcome
+    back to the caller (which owns the pc).
+    """
+    inst = dyn.inst
+    op = inst.op
+    regfile = state.registers
+
+    a = regfile[inst.rs1] if inst.rs1 is not None else 0
+    b = regfile[inst.rs2] if inst.rs2 is not None else 0
+    dyn.sval1, dyn.sval2 = a, b
+    result: int | None = None
+    next_pc = dyn.pc + 1
+
+    if op is Op.ADD:
+        result = to_u32(a + b)
+    elif op is Op.SUB:
+        result = to_u32(a - b)
+    elif op is Op.AND:
+        result = a & b
+    elif op is Op.OR:
+        result = a | b
+    elif op is Op.XOR:
+        result = a ^ b
+    elif op is Op.NOR:
+        result = to_u32(~(a | b))
+    elif op is Op.SLL:
+        result = to_u32(a << (b & 31))
+    elif op is Op.SRL:
+        result = a >> (b & 31)
+    elif op is Op.SRA:
+        result = to_u32(to_s32(a) >> (b & 31))
+    elif op is Op.SLT:
+        result = 1 if to_s32(a) < to_s32(b) else 0
+    elif op is Op.SLTU:
+        result = 1 if a < b else 0
+    elif op is Op.MULT:
+        result = to_u32(to_s32(a) * to_s32(b))
+    elif op is Op.DIV:
+        sa, sb = to_s32(a), to_s32(b)
+        result = 0 if sb == 0 else to_u32(int(sa / sb))
+    elif op is Op.REM:
+        sa, sb = to_s32(a), to_s32(b)
+        result = 0 if sb == 0 else to_u32(sa - int(sa / sb) * sb)
+    elif op is Op.ADDI:
+        result = to_u32(a + inst.imm)
+    elif op is Op.ANDI:
+        result = a & (inst.imm & 0xFFFF)
+    elif op is Op.ORI:
+        result = a | (inst.imm & 0xFFFF)
+    elif op is Op.XORI:
+        result = a ^ (inst.imm & 0xFFFF)
+    elif op is Op.SLTI:
+        result = 1 if to_s32(a) < inst.imm else 0
+    elif op is Op.SLLI:
+        result = to_u32(a << (inst.imm & 31))
+    elif op is Op.SRLI:
+        result = a >> (inst.imm & 31)
+    elif op is Op.SRAI:
+        result = to_u32(to_s32(a) >> (inst.imm & 31))
+    elif op is Op.LUI:
+        result = to_u32(inst.imm << 16)
+    elif op is Op.LW:
+        dyn.addr = to_u32(a + inst.imm)
+        result = state.load_word(dyn.addr)
+    elif op is Op.LB:
+        dyn.addr = to_u32(a + inst.imm)
+        result = to_u32(state.load_byte(dyn.addr, signed=True))
+    elif op is Op.LBU:
+        dyn.addr = to_u32(a + inst.imm)
+        result = state.load_byte(dyn.addr, signed=False)
+    elif op is Op.SW:
+        dyn.addr = to_u32(a + inst.imm)
+        dyn.store_value = b
+        state.store_word(dyn.addr, b)
+    elif op is Op.SB:
+        dyn.addr = to_u32(a + inst.imm)
+        dyn.store_value = b & 0xFF
+        state.store_byte(dyn.addr, b)
+    elif dyn.is_cond_branch:
+        taken = branch_taken(op, a, b)
+        dyn.taken = taken
+        if taken:
+            next_pc = inst.target  # type: ignore[assignment]
+    elif op is Op.J:
+        next_pc = inst.target  # type: ignore[assignment]
+    elif op is Op.JAL:
+        result = dyn.pc + 1
+        next_pc = inst.target  # type: ignore[assignment]
+    elif op is Op.JR:
+        next_pc = a
+    elif op is Op.JALR:
+        result = dyn.pc + 1
+        next_pc = a
+    elif op is Op.NOP:
+        pass
+    elif op is Op.HALT:
+        state.halted = True
+        next_pc = dyn.pc
+    else:  # pragma: no cover - all opcodes handled above
+        raise ExecutionError(f"unimplemented opcode {op!r}")
+
+    if result is not None and inst.rd is not None and inst.rd != 0:
+        regfile[inst.rd] = result
+    if inst.rd == 0:
+        result = 0 if result is not None else None
+    dyn.result = result
+    dyn.next_pc = next_pc
+    return dyn

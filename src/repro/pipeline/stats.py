@@ -50,6 +50,7 @@ class SimulationResult:
     total_instructions: int = 0
     total_cycles: int = 0
     warmup_instructions: int = 0
+    speculation: str = "redirect"
 
     cond_branches: int = 0
     final_correct: int = 0
@@ -69,6 +70,17 @@ class SimulationResult:
     stores: int = 0
     memory: MemoryStats = field(default_factory=MemoryStats)
     ras_accuracy: float = 1.0
+
+    # Wrong-path speculation counters (``speculation="wrongpath"``; all
+    # zero in redirect mode).  These cover the *whole* run, not just the
+    # measured window — wrong-path pollution and recovery are state
+    # effects that matter during warmup too, like the memory counters.
+    wrong_path_instructions: int = 0
+    wrong_path_loads: int = 0
+    wrong_path_stores: int = 0
+    wrong_path_branches: int = 0
+    rollbacks: int = 0            # in-engine DDT rollback_to invocations
+    squashed_tokens: int = 0      # DDT entries squashed across all rollbacks
 
     # -- serialization --------------------------------------------------------
     #
@@ -132,6 +144,20 @@ class SimulationResult:
     def bvit_hit_rate(self) -> float:
         return self.arvi_bvit_hits / self.arvi_lookups if self.arvi_lookups else 0.0
 
+    @property
+    def wrong_path_ratio(self) -> float:
+        """Wrong-path instructions per committed instruction (whole run)."""
+        if not self.total_instructions:
+            return 0.0
+        return self.wrong_path_instructions / self.total_instructions
+
+    @property
+    def wrong_path_fills(self) -> int:
+        """Cache lines brought in by squashed instructions (pollution)."""
+        memory = self.memory
+        return (memory.wrong_path_l1i_misses + memory.wrong_path_l1d_misses
+                + memory.wrong_path_l2_misses)
+
     def summary(self) -> str:
         lines = [
             f"benchmark={self.benchmark} config={self.configuration} "
@@ -148,4 +174,12 @@ class SimulationResult:
                 f"calc acc={self.calculated.accuracy:.4f} "
                 f"load acc={self.load.accuracy:.4f} "
                 f"BVIT hit={self.bvit_hit_rate:.3f}")
+        if self.speculation != "redirect" or self.wrong_path_instructions:
+            lines.append(
+                f"  speculation={self.speculation} "
+                f"wrong-path insts={self.wrong_path_instructions} "
+                f"(ratio {self.wrong_path_ratio:.3f}) "
+                f"rollbacks={self.rollbacks} "
+                f"squashed={self.squashed_tokens} "
+                f"pollution fills={self.wrong_path_fills}")
         return "\n".join(lines)

@@ -30,9 +30,14 @@ class BranchPredictor(ABC):
 
     The timing engine calls :meth:`predict` at fetch and :meth:`update`
     with the resolved outcome in commit order.  History-based predictors
-    maintain their global history inside :meth:`update`; because the
-    engine only materializes correct-path instructions, this corresponds
-    to speculative history with perfect repair (DESIGN.md §2).
+    maintain their global history inside :meth:`update`; in the engine's
+    ``redirect`` speculation mode only correct-path instructions are
+    materialized, which corresponds to speculative history with perfect
+    repair (DESIGN.md §2.6).  In ``wrongpath`` mode the repair is explicit
+    checkpoint hardware: the engine snapshots history via
+    :meth:`history_state` at a mispredicted branch, lets wrong-path
+    branches corrupt it through :meth:`speculate`, and restores it with
+    :meth:`restore_history` when the branch resolves.
     """
 
     def __init__(self) -> None:
@@ -48,6 +53,23 @@ class BranchPredictor(ABC):
 
     def record_outcome(self, predicted: bool, taken: bool) -> None:
         self.stats.record(predicted == taken)
+
+    # -- speculative history (wrong-path modelling) ---------------------------
+
+    def history_state(self):
+        """Opaque checkpoint of speculative history (None if stateless)."""
+        return None
+
+    def restore_history(self, state) -> None:
+        """Restore a :meth:`history_state` checkpoint; default no-op."""
+
+    def speculate(self, pc: int, taken: bool) -> None:
+        """Speculatively shift a *predicted* outcome into the history.
+
+        Called for wrong-path branches only; counters never train here
+        (they train at commit, which wrong-path instructions never
+        reach).  Default no-op for history-less predictors.
+        """
 
     @property
     def storage_bits(self) -> int:

@@ -59,6 +59,15 @@ class BiModePredictor(BranchPredictor):
             self.choice.nudge(pc, taken)
         self.history.push(taken)
 
+    def history_state(self) -> int:
+        return self.history.value
+
+    def restore_history(self, state: int) -> None:
+        self.history.value = state
+
+    def speculate(self, pc: int, taken: bool) -> None:
+        self.history.push(taken)
+
     @property
     def storage_bits(self) -> int:
         return (self.taken_table.storage_bits

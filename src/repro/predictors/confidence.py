@@ -45,6 +45,13 @@ class ConfidenceEstimator:
             self.table.reset(index)
         self.history.push(taken)
 
+    def history_state(self) -> int:
+        """Checkpoint of the history register (branch-recovery support)."""
+        return self.history.value
+
+    def restore_history(self, state: int) -> None:
+        self.history.value = state
+
     @property
     def storage_bits(self) -> int:
         return self.table.storage_bits + self.history.bits

@@ -127,6 +127,17 @@ class TwoBcGskew(BranchPredictor):
 
         self.history.push(taken)
 
+    # -- speculative history (wrong-path modelling) ---------------------------
+
+    def history_state(self) -> int:
+        return self.history.value
+
+    def restore_history(self, state: int) -> None:
+        self.history.value = state
+
+    def speculate(self, pc: int, taken: bool) -> None:
+        self.history.push(taken)
+
     @property
     def storage_bits(self) -> int:
         return (self.bim.storage_bits + self.g0.storage_bits

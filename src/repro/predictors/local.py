@@ -38,6 +38,17 @@ class LocalHistoryPredictor(BranchPredictor):
         self._histories[slot] = ((pattern << 1) | int(taken)) \
             & self._history_mask
 
+    def history_state(self) -> tuple[int, ...]:
+        return tuple(self._histories)
+
+    def restore_history(self, state) -> None:
+        self._histories = list(state)
+
+    def speculate(self, pc: int, taken: bool) -> None:
+        slot = pc % self.history_entries
+        self._histories[slot] = ((self._histories[slot] << 1) | int(taken)) \
+            & self._history_mask
+
     @property
     def storage_bits(self) -> int:
         return (self.history_entries * self.history_bits

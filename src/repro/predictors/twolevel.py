@@ -112,6 +112,36 @@ class TwoLevelPredictor:
             used_l2=use_arvi, override=use_arvi and final != l1_pred,
             confident=confident, arvi=prediction)
 
+    # -- speculative history (wrong-path modelling) -------------------------------
+
+    def history_state(self) -> tuple:
+        """Checkpoint every component's speculative history."""
+        return (
+            self.level1.history_state(),
+            self.level2_hybrid.history_state()
+            if self.level2_hybrid is not None else None,
+            self.confidence.history_state()
+            if self.confidence is not None else None,
+        )
+
+    def restore_history(self, state: tuple) -> None:
+        l1_state, l2_state, conf_state = state
+        self.level1.restore_history(l1_state)
+        if self.level2_hybrid is not None:
+            self.level2_hybrid.restore_history(l2_state)
+        if self.confidence is not None:
+            self.confidence.restore_history(conf_state)
+
+    def speculate(self, pc: int, taken: bool) -> None:
+        """Shift a wrong-path branch's predicted outcome into histories.
+
+        Repaired by :meth:`restore_history` at branch resolution — the
+        explicit checkpoint repair replacing the §2.6 idealization.
+        """
+        self.level1.speculate(pc, taken)
+        if self.level2_hybrid is not None:
+            self.level2_hybrid.speculate(pc, taken)
+
     # -- training ----------------------------------------------------------------
 
     def train(self, pc: int, decision: TwoLevelDecision, taken: bool) -> None:

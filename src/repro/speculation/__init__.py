@@ -1,0 +1,34 @@
+"""Speculation subsystem: materialized wrong-path execution (DESIGN.md §2.2-§2.3).
+
+The engine supports two speculation models, selected by
+``MachineConfig.speculation``:
+
+* ``"redirect"`` (default) — the seed's accounting model: a misprediction
+  restarts fetch after the branch resolves; wrong-path instructions are
+  never materialized and no state needs repair.
+* ``"wrongpath"`` — this package: a mispredicted branch checkpoints the
+  frontend (:mod:`repro.speculation.checkpoint`), fetches and renames a
+  synthesized wrong-path instruction stream
+  (:mod:`repro.speculation.wrongpath`) that pollutes the caches and the
+  DDT, then squashes it through ``rollback_to`` when the branch resolves.
+"""
+
+from repro.pipeline.config import SPECULATION_MODES
+from repro.speculation.checkpoint import (
+    CrossCheckedDDT,
+    DDTCrossCheckError,
+    EngineCheckpoint,
+    RecoveryManager,
+)
+from repro.speculation.wrongpath import CowMemory, CowRegisters, WrongPathCore
+
+__all__ = [
+    "SPECULATION_MODES",
+    "CowMemory",
+    "CowRegisters",
+    "CrossCheckedDDT",
+    "DDTCrossCheckError",
+    "EngineCheckpoint",
+    "RecoveryManager",
+    "WrongPathCore",
+]

@@ -1,0 +1,188 @@
+"""Branch checkpointing and recovery (DESIGN.md §2.3, ``wrongpath`` mode).
+
+A real machine snapshots its frontend state at every unresolved branch so
+a misprediction can be repaired: the rename map table, the ARVI shadow
+structures, the predictors' speculative histories, and the DDT head.  The
+:class:`RecoveryManager` materializes exactly that checkpoint when the
+engine starts a wrong-path episode and restores it when the branch
+resolves, driving ``rollback_to`` — the paper's ROB-style head-pointer
+walk-back — on the live in-engine DDT for the first time (the seed
+exercised it only in unit tests).
+
+:class:`CrossCheckedDDT` is the verification harness for that claim: it
+mirrors every engine-issued ``allocate`` / ``commit_oldest`` /
+``rollback_to`` into the hardware-faithful :class:`~repro.core.ddt.DDT`
+and compares tokens, squash lists and (after every squash) the full
+``chain_tokens`` state, raising :class:`DDTCrossCheckError` on the first
+divergence.  The engine enables it via ``PipelineEngine(...,
+ddt_cross_check=True)``; tests use it to prove the in-engine rollback
+matches the reference bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ddt import DDT, FastDDT
+
+
+class DDTCrossCheckError(AssertionError):
+    """The fast and hardware-faithful DDTs disagreed on an operation."""
+
+
+@dataclass
+class EngineCheckpoint:
+    """Everything needed to undo one wrong-path episode.
+
+    Captured at the mispredicted branch (before any wrong-path
+    instruction touches the pipeline structures); ``wrong_path_pregs``
+    accumulates the physical registers the episode allocates so the
+    restore can return them to the free list.
+
+    ``shadow_values`` (written only at retire, which an episode never
+    reaches) and the confidence history (trained only at resolve) are
+    provably unchanged across today's episodes; they are checkpointed
+    anyway because the paper's recovery hardware covers them, and the
+    invariant would silently stop holding if retirement ever interleaved
+    with wrong-path fetch.
+    """
+
+    branch_token: int
+    rename_map: tuple[int, ...]
+    shadow_map: list[int]
+    shadow_values: list[int]
+    predictor_history: object
+    fetch_line: int
+    wrong_path_pregs: list[int] = field(default_factory=list)
+
+
+class RecoveryManager:
+    """Creates and restores :class:`EngineCheckpoint`\\ s for the engine.
+
+    The manager is deliberately stateless between episodes (the engine
+    holds the active checkpoint on its call stack); it owns only the
+    running recovery statistics.
+    """
+
+    def __init__(self) -> None:
+        self.checkpoints_taken = 0
+        self.rollbacks = 0
+        self.squashed_tokens = 0
+
+    def capture(self, engine, branch_token: int) -> EngineCheckpoint:
+        """Snapshot the engine's speculative state at a branch."""
+        self.checkpoints_taken += 1
+        return EngineCheckpoint(
+            branch_token=branch_token,
+            rename_map=engine.rename.snapshot(),
+            shadow_map=engine.shadow_map.snapshot(),
+            shadow_values=engine.shadow_values.snapshot(),
+            predictor_history=engine.predictor.history_state(),
+            fetch_line=engine._last_fetch_line,
+        )
+
+    def restore(self, engine, checkpoint: EngineCheckpoint) -> list[int]:
+        """Squash the wrong-path episode; returns the squashed tokens.
+
+        Drives the DDT's ROB-style ``rollback_to`` walk-back in-engine,
+        then rewinds the rename map (freeing the episode's physical
+        registers), the shadow structures, the predictor histories and
+        the fetch-line register.
+        """
+        squashed = engine.ddt.rollback_to(checkpoint.branch_token)
+        for token in squashed:
+            engine.chains.discard(token)
+        engine.rename.restore(checkpoint.rename_map,
+                              checkpoint.wrong_path_pregs)
+        engine.shadow_map.restore(checkpoint.shadow_map)
+        engine.shadow_values.restore(checkpoint.shadow_values)
+        engine.predictor.restore_history(checkpoint.predictor_history)
+        engine._last_fetch_line = checkpoint.fetch_line
+        self.rollbacks += 1
+        self.squashed_tokens += len(squashed)
+        return squashed
+
+
+class CrossCheckedDDT:
+    """A :class:`FastDDT` mirrored into the hardware-faithful :class:`DDT`.
+
+    Exposes the engine-facing interface of :class:`FastDDT`; every
+    mutation is applied to both implementations and the observable
+    results compared.  After every rollback the complete per-register
+    ``chain_tokens`` state is verified (the §2.3 property, now enforced
+    on the live engine script rather than synthetic ones).
+    """
+
+    def __init__(self, num_regs: int, num_entries: int) -> None:
+        self.fast = FastDDT(num_regs, num_entries)
+        self.reference = DDT(num_regs, num_entries)
+        self.num_regs = num_regs
+        self.num_entries = num_entries
+        self.operations = 0
+        self.rollback_checks = 0
+
+    # -- mutations (mirrored + checked) -------------------------------------
+
+    def allocate(self, dest, srcs) -> int:
+        srcs = tuple(srcs)
+        token = self.fast.allocate(dest, srcs)
+        ref_token = self.reference.allocate(dest, srcs)
+        if token != ref_token:
+            raise DDTCrossCheckError(
+                f"allocate token mismatch: fast={token} ref={ref_token}")
+        self.operations += 1
+        return token
+
+    def commit_oldest(self) -> int:
+        token = self.fast.commit_oldest()
+        ref_token = self.reference.commit_oldest()
+        if token != ref_token:
+            raise DDTCrossCheckError(
+                f"commit token mismatch: fast={token} ref={ref_token}")
+        self.operations += 1
+        return token
+
+    def rollback_to(self, token: int) -> list[int]:
+        squashed = self.fast.rollback_to(token)
+        ref_squashed = self.reference.rollback_to(token)
+        if squashed != ref_squashed:
+            raise DDTCrossCheckError(
+                f"rollback squash mismatch at token {token}: "
+                f"fast={squashed} ref={ref_squashed}")
+        self.verify_chains()
+        self.operations += 1
+        self.rollback_checks += 1
+        return squashed
+
+    def verify_chains(self) -> None:
+        """Full per-register chain comparison between both DDTs."""
+        for reg in range(self.num_regs):
+            fast_chain = self.fast.chain_tokens(reg)
+            ref_chain = self.reference.chain_tokens(reg)
+            if fast_chain != ref_chain:
+                raise DDTCrossCheckError(
+                    f"chain mismatch for register {reg}: "
+                    f"fast={sorted(fast_chain)} ref={sorted(ref_chain)}")
+        if self.fast.in_flight != self.reference.in_flight:
+            raise DDTCrossCheckError(
+                f"occupancy mismatch: fast={self.fast.in_flight} "
+                f"ref={self.reference.in_flight}")
+
+    # -- read-only queries (served by the fast implementation) ---------------
+
+    @property
+    def in_flight(self) -> int:
+        return self.fast.in_flight
+
+    @property
+    def next_token(self) -> int:
+        return self.fast.next_token
+
+    def chain_tokens(self, *regs: int) -> set[int]:
+        return self.fast.chain_tokens(*regs)
+
+    def chain_length(self, *regs: int) -> int:
+        return self.fast.chain_length(*regs)
+
+    def oldest_chain_token(self, *regs: int):
+        return self.fast.oldest_chain_token(*regs)

@@ -1,0 +1,185 @@
+"""Wrong-path instruction synthesis (DESIGN.md §2.2, ``wrongpath`` mode).
+
+On a mispredicted branch a real machine keeps fetching down the predicted
+(wrong) path until the branch resolves; those instructions rename, occupy
+the ROB/DDT, touch the caches and are then squashed.  The timing engine is
+oracle-driven and only ever sees correct-path instructions, so this module
+*synthesizes* the wrong-path stream: :class:`WrongPathCore` runs the
+functional interpreter (:func:`repro.pipeline.functional.execute_instruction`)
+down the wrong target against copy-on-write register and memory views.
+Architectural state is never mutated — the views absorb every write, and
+the whole episode is discarded when the engine's recovery manager restores
+its checkpoint (``repro.speculation.checkpoint``).
+
+Wrong-path control flow follows *predictions*, not data: at a conditional
+branch the machine has no outcome yet, so the fetcher asks the engine's
+``predict`` callback (the level-1 predictor, with speculative history
+update) which way to go.  The stream ends at the first event a frontend
+cannot fetch past: a pc outside the program, a HALT, or an architectural
+fault (wrong-path addresses are frequently garbage — real hardware squashes
+the faulting access rather than trapping).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.isa.instructions import Op
+from repro.pipeline.functional import (
+    DynInst,
+    ExecutionError,
+    execute_instruction,
+)
+from repro.isa.program import Program
+
+
+class CowRegisters:
+    """Copy-on-write view of the 32-entry architectural register file."""
+
+    __slots__ = ("_base", "_overlay")
+
+    def __init__(self, base) -> None:
+        self._base = base
+        self._overlay: dict[int, int] = {}
+
+    def __getitem__(self, index: int) -> int:
+        overlay = self._overlay
+        return overlay[index] if index in overlay else self._base[index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self._overlay[index] = value
+
+    @property
+    def dirty_count(self) -> int:
+        """Registers written down the wrong path (diagnostics/tests)."""
+        return len(self._overlay)
+
+
+class CowMemory:
+    """Byte-granular copy-on-write view over the architectural memory.
+
+    Wrong-path stores land in the overlay (so younger wrong-path loads see
+    them — store forwarding continues down the wrong path); the backing
+    bytearray is never written.  Bounds and alignment checks match
+    :class:`~repro.pipeline.functional.FunctionalCore` exactly, so a
+    garbage wrong-path address raises the same :class:`ExecutionError`.
+    """
+
+    __slots__ = ("_base", "_overlay", "pc")
+
+    def __init__(self, base) -> None:
+        self._base = base
+        self._overlay: dict[int, int] = {}
+        self.pc = 0  # fetch pc of the access, for fault messages
+
+    def _check_addr(self, addr: int, size: int, *, aligned: int) -> None:
+        if addr < 0 or addr + size > len(self._base):
+            raise ExecutionError(
+                f"pc={self.pc}: memory access out of range: {addr:#x}")
+        if aligned > 1 and addr % aligned:
+            raise ExecutionError(
+                f"pc={self.pc}: unaligned {size}-byte access at {addr:#x}")
+
+    def _byte(self, addr: int) -> int:
+        overlay = self._overlay
+        return overlay[addr] if addr in overlay else self._base[addr]
+
+    def load_word(self, addr: int) -> int:
+        self._check_addr(addr, 4, aligned=4)
+        if self._overlay:
+            return (self._byte(addr) | self._byte(addr + 1) << 8
+                    | self._byte(addr + 2) << 16 | self._byte(addr + 3) << 24)
+        return int.from_bytes(self._base[addr:addr + 4], "little")
+
+    def store_word(self, addr: int, value: int) -> None:
+        self._check_addr(addr, 4, aligned=4)
+        value &= 0xFFFFFFFF
+        overlay = self._overlay
+        for offset in range(4):
+            overlay[addr + offset] = value >> (8 * offset) & 0xFF
+
+    def load_byte(self, addr: int, *, signed: bool) -> int:
+        self._check_addr(addr, 1, aligned=1)
+        byte = self._byte(addr)
+        if signed and byte >= 0x80:
+            return byte - 0x100
+        return byte
+
+    def store_byte(self, addr: int, value: int) -> None:
+        self._check_addr(addr, 1, aligned=1)
+        self._overlay[addr] = value & 0xFF
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Bytes written down the wrong path (diagnostics/tests)."""
+        return len(self._overlay)
+
+
+class WrongPathCore:
+    """Speculative fetch source: interprets down the wrong path via views.
+
+    Implements the same state interface :func:`execute_instruction`
+    expects (``registers``, memory accessors, ``halted``), backed by
+    copy-on-write views of the architectural core.  ``step()`` returns one
+    wrong-path :class:`DynInst` at a time, or ``None`` once the wrong path
+    cannot be fetched further.
+    """
+
+    def __init__(self, program: Program, registers, memory, start_pc: int,
+                 predict: Callable[[int], bool]) -> None:
+        self.program = program
+        self.registers = CowRegisters(registers)
+        self._memory = CowMemory(memory)
+        self.pc = start_pc
+        self.predict = predict
+        self.halted = False
+        self.fetched = 0
+        self.faulted = False
+
+    # Memory interface for execute_instruction (delegates to the COW view,
+    # keeping the faulting pc current for error messages).
+
+    def load_word(self, addr: int) -> int:
+        return self._memory.load_word(addr)
+
+    def store_word(self, addr: int, value: int) -> None:
+        self._memory.store_word(addr, value)
+
+    def load_byte(self, addr: int, *, signed: bool) -> int:
+        return self._memory.load_byte(addr, signed=signed)
+
+    def store_byte(self, addr: int, value: int) -> None:
+        self._memory.store_byte(addr, value)
+
+    # -- stepping -----------------------------------------------------------
+
+    def step(self) -> DynInst | None:
+        """Fetch and speculatively execute one wrong-path instruction.
+
+        Returns ``None`` when the wrong path ends: pc left the program,
+        a HALT was fetched, or the instruction faulted.
+        """
+        pc = self.pc
+        if self.halted or not 0 <= pc < len(self.program.instructions):
+            return None
+        inst = self.program.instructions[pc]
+        if inst.op is Op.HALT:
+            # A speculative HALT stalls fetch; it never retires.
+            return None
+        dyn = DynInst(self.fetched, pc, inst)
+        self._memory.pc = pc
+        if dyn.is_cond_branch:
+            # No outcome exists yet: record the data-determined direction
+            # for observability, but *fetch* follows the prediction.
+            execute_instruction(self, dyn)
+            predicted = bool(self.predict(pc))
+            dyn.next_pc = inst.target if predicted else pc + 1
+        else:
+            try:
+                execute_instruction(self, dyn)
+            except ExecutionError:
+                self.faulted = True
+                return None
+        self.fetched += 1
+        self.pc = dyn.next_pc
+        return dyn

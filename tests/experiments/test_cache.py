@@ -146,6 +146,7 @@ def test_key_covers_every_knob(point):
         replace(point, warmup=300),
         replace(point, seed=2),
         replace(point, arvi_config=ARVIConfig(sets=1024)),
+        replace(point, speculation="wrongpath"),
     ]
     keys = {base} | {point_key(variant) for variant in variants}
     assert len(keys) == len(variants) + 1
