@@ -1,0 +1,30 @@
+"""Tracked simulator-performance benchmark (DESIGN.md §7).
+
+Runs the ``repro.bench`` harness — simulated-instructions/sec and
+per-point wall time for m88ksim/compress in both speculation modes, plus
+the batched-vs-per-point cold grid — and refreshes ``BENCH_perf.json`` at
+the repository root so the perf trajectory is tracked alongside the paper
+artifacts.  ``REPRO_SCALE`` rescales the measured points exactly like the
+figure benchmarks (the recorded baseline is only comparable at its own
+scale).
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_bench
+
+
+def test_perf_harness(save_result, scale):
+    lines: list[str] = []
+    report = run_bench(scale=scale, echo=lines.append)
+
+    text = "\n".join(["simulator performance (repro.bench)", ""] + lines)
+    save_result("perf_harness", text)
+
+    # Informational harness, but the measurements themselves must be sane.
+    assert report["points"], "no points measured"
+    for key, sample in report["points"].items():
+        assert sample["sim_ips"] > 0, f"{key}: bad throughput"
+    grid = report.get("grid_batching")
+    if grid is not None:
+        assert grid["batched_seconds"] > 0

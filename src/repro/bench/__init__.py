@@ -1,0 +1,230 @@
+"""Tracked performance harness (``python -m repro.bench``).
+
+Measures the simulator's *host* performance — simulated instructions per
+second and per-point wall time — so the perf trajectory of the hot path
+is tracked from PR 3 onward:
+
+* **single points**: m88ksim and compress, ``baseline`` configuration,
+  20-stage machine, in both speculation modes (``redirect`` and
+  ``wrongpath``), best-of-N wall time;
+* **grid batching**: a cold same-benchmark grid (cache disabled) run
+  twice through the process-pool scheduler — once with in-worker point
+  batching, once per-point — to track the scheduling-overhead win.
+
+Results are written to ``BENCH_perf.json`` at the repository root.  The
+file carries a ``baseline`` section (the pre-optimization seed numbers,
+recorded when the harness was introduced) that is preserved across runs;
+when the current run's scale/warmup match the baseline's, per-point
+speedups are reported against it.  Numbers are host-dependent —
+comparisons are only meaningful on the same machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+from repro.experiments.plan import ExperimentPoint, plan_from_points
+from repro.experiments.runner import execute_point
+from repro.experiments.scheduler import run_plan
+
+SCHEMA_VERSION = 1
+
+#: Single-point measurements: (benchmark, speculation mode).
+POINT_MATRIX = (
+    ("m88ksim", "redirect"),
+    ("m88ksim", "wrongpath"),
+    ("compress", "redirect"),
+    ("compress", "wrongpath"),
+)
+
+#: Grid for the batching comparison: many small same-benchmark points
+#: (the CI-smoke / figure-grid shape) so the per-task scheduling overhead
+#: is a visible fraction of the work.
+GRID_CONFIGURATIONS = ("baseline", "current", "load back", "perfect")
+GRID_DEPTHS = (20, 40, 60)
+GRID_SEEDS = tuple(range(1, 9))
+GRID_BENCHMARK = "m88ksim"
+
+
+def repo_root() -> pathlib.Path:
+    """The checkout root (where ``BENCH_perf.json`` lives)."""
+    root = pathlib.Path(__file__).resolve().parents[3]
+    if (root / "pyproject.toml").exists():
+        return root
+    return pathlib.Path.cwd()
+
+
+def measure_point(benchmark: str, speculation: str, *, scale: float,
+                  warmup: int, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` wall time for one cold baseline point."""
+    point = ExperimentPoint(benchmark, "baseline", 20, scale=scale,
+                            warmup=warmup, speculation=speculation).resolve()
+    best = None
+    instructions = 0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = execute_point(point)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+        instructions = result.total_instructions
+    return {
+        "instructions": instructions,
+        "wall_seconds": round(best, 4),
+        "sim_ips": round(instructions / best, 1),
+    }
+
+
+def measure_grid_batching(*, scale: float, warmup: int, jobs: int = 2,
+                          repeats: int = 2) -> dict:
+    """Cold same-benchmark grid: batched vs per-point worker submission.
+
+    Both runs bypass the result cache entirely, use the same worker count
+    and produce identical results (asserted); only the submission policy
+    differs.  Best-of-``repeats`` per mode to damp pool-startup noise.
+    """
+    points = [
+        ExperimentPoint(GRID_BENCHMARK, configuration, depth, scale=scale,
+                        warmup=warmup, seed=seed)
+        for configuration in GRID_CONFIGURATIONS
+        for depth in GRID_DEPTHS
+        for seed in GRID_SEEDS
+    ]
+    plan = plan_from_points(points)
+
+    timings: dict[bool, float] = {}
+    outcomes: dict[bool, dict] = {}
+    for _ in range(max(1, repeats)):
+        for batching in (True, False):
+            start = time.perf_counter()
+            outcomes[batching] = run_plan(plan, jobs=jobs, use_cache=False,
+                                          batch=batching)
+            elapsed = time.perf_counter() - start
+            if batching not in timings or elapsed < timings[batching]:
+                timings[batching] = elapsed
+
+    if outcomes[True] != outcomes[False]:  # pragma: no cover - invariant
+        raise AssertionError("batched and per-point grid results differ")
+    return {
+        "benchmark": GRID_BENCHMARK,
+        "points": len(plan),
+        "scale": scale,
+        "warmup": warmup,
+        "jobs": jobs,
+        "batched_seconds": round(timings[True], 4),
+        "per_point_seconds": round(timings[False], 4),
+        "batching_speedup": round(timings[False] / timings[True], 4),
+    }
+
+
+def _load_baseline(output: pathlib.Path) -> dict | None:
+    """Carry the recorded pre-optimization baseline across runs."""
+    try:
+        previous = json.loads(output.read_text())
+    except (OSError, ValueError):
+        return None
+    baseline = previous.get("baseline")
+    return baseline if isinstance(baseline, dict) else None
+
+
+def run_bench(*, scale: float = 1.0, warmup: int = 1000, repeats: int = 3,
+              jobs: int = 2, grid_scale: float | None = None,
+              skip_grid: bool = False,
+              output: pathlib.Path | None = None,
+              echo=print) -> dict:
+    """Run the harness and write ``BENCH_perf.json``; returns the report."""
+    output = repo_root() / "BENCH_perf.json" if output is None else output
+    baseline = _load_baseline(output)
+
+    report: dict = {
+        "schema": SCHEMA_VERSION,
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "scale": scale,
+        "warmup": warmup,
+        "repeats": repeats,
+        "points": {},
+    }
+
+    for benchmark, speculation in POINT_MATRIX:
+        key = f"{benchmark}/{speculation}"
+        sample = measure_point(benchmark, speculation, scale=scale,
+                               warmup=warmup, repeats=repeats)
+        report["points"][key] = sample
+        echo(f"{key}: {sample['sim_ips']:,.0f} sim-inst/s "
+             f"({sample['instructions']} instructions, "
+             f"{sample['wall_seconds']:.3f}s)")
+
+    if not skip_grid:
+        # Tiny windows: the grid measures scheduling overhead, not the
+        # simulator, so each of its ~100 points should be milliseconds.
+        grid = measure_grid_batching(
+            scale=scale * 0.005 if grid_scale is None else grid_scale,
+            warmup=min(warmup, 100), jobs=jobs)
+        report["grid_batching"] = grid
+        echo(f"grid batching ({grid['points']} {GRID_BENCHMARK} points, "
+             f"{grid['jobs']} workers): batched {grid['batched_seconds']:.2f}s"
+             f" vs per-point {grid['per_point_seconds']:.2f}s "
+             f"({grid['batching_speedup']:.2f}x)")
+
+    if baseline is not None:
+        report["baseline"] = baseline
+        if (baseline.get("scale") == scale
+                and baseline.get("warmup") == warmup):
+            speedups = {}
+            for key, sample in report["points"].items():
+                base = baseline.get("points", {}).get(key)
+                if base and base.get("sim_ips"):
+                    speedups[key] = round(
+                        sample["sim_ips"] / base["sim_ips"], 3)
+            report["speedup_vs_baseline"] = speedups
+            for key, ratio in speedups.items():
+                echo(f"{key}: {ratio:.2f}x vs baseline "
+                     f"({baseline.get('label', 'recorded baseline')})")
+        else:
+            echo("baseline recorded at a different scale/warmup; "
+                 "speedups not computed")
+
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    echo(f"[written to {output}]")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Measure simulator host performance and write "
+                    "BENCH_perf.json at the repository root.")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="simulation window scale for the single "
+                             "points (default 1.0)")
+    parser.add_argument("--warmup", type=int, default=1000,
+                        help="warmup instructions per point (default 1000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per point (default 3)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="workers for the grid comparison (default 2)")
+    parser.add_argument("--grid-scale", type=float, default=None,
+                        help="scale for the batching grid "
+                             "(default: --scale x 0.005 — the grid "
+                             "measures scheduling overhead, so its ~100 "
+                             "points are kept tiny)")
+    parser.add_argument("--skip-grid", action="store_true",
+                        help="skip the batched-vs-per-point grid run")
+    parser.add_argument("--output", type=pathlib.Path, default=None,
+                        help="output path (default: BENCH_perf.json at "
+                             "the repo root)")
+    args = parser.parse_args(argv)
+    run_bench(scale=args.scale, warmup=args.warmup, repeats=args.repeats,
+              jobs=args.jobs, grid_scale=args.grid_scale,
+              skip_grid=args.skip_grid, output=args.output)
+    return 0

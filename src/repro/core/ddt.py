@@ -40,6 +40,9 @@ class _DDTBase:
     num_regs: int
     num_entries: int
 
+    def chain_mask(self, *regs: int) -> int:
+        raise NotImplementedError
+
     def chain_tokens(self, *regs: int) -> set[int]:
         raise NotImplementedError
 
@@ -61,8 +64,13 @@ class _DDTBase:
         return token in self.chain_tokens(reg)
 
     def chain_length(self, *regs: int) -> int:
-        """Number of in-flight instructions in the dependence chain."""
-        return len(self.chain_tokens(*regs))
+        """Number of in-flight instructions in the dependence chain.
+
+        A population count over the chain bitmask — no caller needs to
+        materialize a token set just to take its length (hardware: a
+        popcount tree over the OR of the selected DDT rows).
+        """
+        return self.chain_mask(*regs).bit_count()
 
     @property
     def storage_bits(self) -> int:
@@ -90,6 +98,10 @@ class DDT(_DDTBase):
         self._count = 0
         self._entry_token = [-1] * num_entries
         self._next_token = 0
+        # Column membership: _col_members[e] bit r set <=> rows[r] has bit
+        # e.  Lets the entry-reuse column clear touch only the rows that
+        # actually hold the bit instead of sweeping all num_regs rows.
+        self._col_members = [0] * num_entries
 
     @property
     def in_flight(self) -> int:
@@ -110,17 +122,40 @@ class DDT(_DDTBase):
             raise DDTError("DDT full")
         entry = self.head
         bit = 1 << entry
+        rows = self.rows
+        col_members = self._col_members
         # Clear the column before reuse (paper: "all bits in the instruction
-        # entry must be cleared" before a new instruction reuses it).
-        clear = ~bit
-        for reg in range(self.num_regs):
-            self.rows[reg] &= clear
+        # entry must be cleared" before a new instruction reuses it).  The
+        # membership mask names exactly the rows holding the bit, so the
+        # clear walks those instead of all num_regs rows.
+        members = col_members[entry]
+        if members:
+            clear = ~bit
+            while members:
+                low = members & -members
+                rows[low.bit_length() - 1] &= clear
+                members ^= low
+            col_members[entry] = 0
         chain = 0
         for src in srcs:
-            chain |= self.rows[src]
+            chain |= rows[src]
         chain &= self.valid
         if dest is not None:
-            self.rows[dest] = chain | bit
+            old = rows[dest]
+            new = chain | bit
+            rows[dest] = new
+            # Maintain column membership for every column whose bit in
+            # this row changed (set bits of old ^ new).
+            diff = old ^ new
+            dest_bit = 1 << dest
+            while diff:
+                low = diff & -diff
+                col = low.bit_length() - 1
+                if new & low:
+                    col_members[col] |= dest_bit
+                else:
+                    col_members[col] &= ~dest_bit
+                diff ^= low
         self.valid |= bit
         self.head = (self.head + 1) % self.num_entries
         self._count += 1
@@ -167,17 +202,26 @@ class DDT(_DDTBase):
 
     def chain_tokens(self, *regs: int) -> set[int]:
         mask = self.chain_mask(*regs)
-        return {
-            self._entry_token[entry]
-            for entry in range(self.num_entries)
-            if mask >> entry & 1
-        }
+        entry_token = self._entry_token
+        tokens = set()
+        # Iterate only the set bits (lowest-set-bit extraction), not all
+        # num_entries columns.
+        while mask:
+            low = mask & -mask
+            tokens.add(entry_token[low.bit_length() - 1])
+            mask ^= low
+        return tokens
 
     def entry_of_token(self, token: int) -> int | None:
         """Column index currently holding ``token`` (None if retired)."""
-        for entry in range(self.num_entries):
-            if self._entry_token[entry] == token and self.valid >> entry & 1:
+        mask = self.valid
+        entry_token = self._entry_token
+        while mask:
+            low = mask & -mask
+            entry = low.bit_length() - 1
+            if entry_token[entry] == token:
                 return entry
+            mask ^= low
         return None
 
     def row_bits(self, reg: int) -> tuple[int, ...]:

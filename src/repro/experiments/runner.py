@@ -103,6 +103,7 @@ def run_suite(configurations=CONFIGURATIONS, depths=(20,),
               jobs: int | None = None, cache: ResultCache | None = None,
               use_cache: bool = True,
               progress: ProgressCallback | None = None,
+              batch: bool | None = None,
               ) -> dict[tuple[str, str, int], SimulationResult]:
     """Run a grid of experiment points; keyed (benchmark, config, depth).
 
@@ -113,10 +114,13 @@ def run_suite(configurations=CONFIGURATIONS, depths=(20,),
     ``speculation`` selects the engine's wrong-path model for every point
     of the grid ("redirect" | "wrongpath"); run the suite once per mode to
     sweep it — each mode has its own cache keys, so replays never mix.
+    ``batch=None`` honours ``REPRO_BATCH`` (default on): same-benchmark
+    points are simulated in per-worker batches that share one program
+    build (results are identical either way).
     """
     plan = build_plan(configurations, depths, benchmarks, scale=scale,
                       warmup=warmup, seed=seed, arvi_config=arvi_config,
                       speculation=speculation)
     results = run_plan(plan, jobs=jobs, cache=cache, use_cache=use_cache,
-                       progress=progress)
+                       progress=progress, batch=batch)
     return {point.grid_key: result for point, result in results.items()}

@@ -7,9 +7,21 @@ The worker count comes from ``REPRO_JOBS`` (default ``os.cpu_count()``);
 ``REPRO_JOBS=1`` is a deterministic serial fallback that never spawns
 worker processes.
 
+**In-worker batching** (``REPRO_BATCH``, default on): pending points are
+grouped by workload identity — ``(benchmark, scale, seed)``, the
+arguments of :func:`~repro.workloads.registry.get_program` — and each
+worker receives a contiguous *batch* of same-benchmark points in one
+submission.  The worker builds (and pre-decodes) the shared ``Program``
+once per batch and amortizes the per-task pool overhead (pickling,
+future bookkeeping, wakeups) across the batch.  Batches never mix
+benchmarks, point keys and cache contents are exactly those of per-point
+execution, and one failing point inside a batch does not discard its
+siblings' completed results.  ``REPRO_BATCH=0`` (or ``batch=False``)
+restores one-point-per-task submission.
+
 Determinism: every point is an independent, fully seeded simulation, and
-every result — computed serially, computed in a worker process, or
-replayed from the cache — passes through the same
+every result — computed serially, computed in a worker process (batched
+or not), or replayed from the cache — passes through the same
 ``SimulationResult.to_dict``/``from_dict`` round trip, so the returned
 objects are bit-for-bit equal (``==``) no matter which path produced them.
 
@@ -49,6 +61,12 @@ def default_jobs() -> int:
     return jobs
 
 
+def default_batching() -> bool:
+    """In-worker point batching: on unless ``REPRO_BATCH`` disables it."""
+    return os.environ.get("REPRO_BATCH", "1").strip().lower() not in (
+        "0", "false", "no", "off")
+
+
 @dataclass(frozen=True)
 class ProgressEvent:
     """One completed point, streamed to the progress callback."""
@@ -68,6 +86,76 @@ def _compute_payload(point: ExperimentPoint) -> dict:
     """Worker entry: simulate one point, return its serialized result."""
     from repro.experiments.runner import execute_point
     return execute_point(point).to_dict()
+
+
+def _relayable_exception(exc: Exception) -> Exception:
+    """Make a worker exception safe to return across the process boundary.
+
+    The worker traceback is attached as an exception note (the future
+    machinery's ``_RemoteTraceback`` only decorates exceptions *raised*
+    out of a task, not ones returned in a payload), and unpicklable
+    exceptions are summarized into a plain ``RuntimeError`` so they can
+    never poison the batch's return value and take sibling results down
+    with them.
+    """
+    import pickle
+    import traceback
+
+    note = "worker traceback:\n" + traceback.format_exc()
+    try:
+        exc.add_note(note)
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 - unpicklable or note-less exotica
+        replacement = RuntimeError(f"{type(exc).__name__}: {exc}")
+        replacement.add_note(note)
+        return replacement
+
+
+def _compute_batch(points: tuple[ExperimentPoint, ...]) -> list[tuple]:
+    """Worker entry: simulate a same-benchmark batch of points.
+
+    The workload registry caches the shared ``Program`` (and its
+    pre-decoded table) per process, so it is built once for the whole
+    batch.  Failures are isolated per point — the batch returns
+    ``("ok", payload)`` / ``("error", exception)`` entries positionally
+    so sibling results still reach the parent (and its cache).
+    """
+    from repro.experiments.runner import execute_point
+    entries: list[tuple] = []
+    for point in points:
+        try:
+            entries.append(("ok", execute_point(point).to_dict()))
+        except Exception as exc:  # noqa: BLE001 - relayed to the parent
+            entries.append(("error", _relayable_exception(exc)))
+    return entries
+
+
+def _make_batches(pending: list[ExperimentPoint],
+                  jobs: int) -> list[tuple[ExperimentPoint, ...]]:
+    """Group pending points into benchmark-pure worker batches.
+
+    Points are grouped by workload identity (benchmark, scale, seed) in
+    first-appearance order, and each group is split into contiguous
+    near-equal chunks sized so the total batch count is about ``jobs`` —
+    every worker stays busy, while no batch ever mixes workloads (the
+    whole point of batching is one program build per batch).
+    """
+    groups: dict[tuple, list[ExperimentPoint]] = {}
+    for point in pending:
+        groups.setdefault(
+            (point.benchmark, point.scale, point.seed), []).append(point)
+    total = len(pending)
+    batches: list[tuple[ExperimentPoint, ...]] = []
+    for points in groups.values():
+        share = max(1, min(len(points), round(jobs * len(points) / total)))
+        size, extra = divmod(len(points), share)
+        start = 0
+        for chunk in range(share):
+            stop = start + size + (1 if chunk < extra else 0)
+            batches.append(tuple(points[start:stop]))
+            start = stop
+    return batches
 
 
 def _pool_context():
@@ -107,15 +195,19 @@ def _restore_worker_import_path(previous: str | None) -> None:
 def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
              cache: ResultCache | None = None, use_cache: bool = True,
              progress: ProgressCallback | None = None,
+             batch: bool | None = None,
              ) -> dict[ExperimentPoint, SimulationResult]:
     """Execute a plan; returns {resolved point -> result}.
 
     ``cache=None`` with ``use_cache=True`` uses the default store (honours
     ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``); pass ``use_cache=False`` to
-    force recomputation without touching any store.
+    force recomputation without touching any store.  ``batch=None``
+    honours ``REPRO_BATCH`` (default on): same-benchmark points travel to
+    workers in batches; ``batch=False`` submits one point per task.
     """
     started = time.perf_counter()
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    batch = default_batching() if batch is None else bool(batch)
     if use_cache and cache is None:
         cache = default_cache()
     elif not use_cache:
@@ -150,35 +242,47 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
                 done += 1
                 emit(point, "serial")
         else:
-            workers = min(jobs, len(pending))
+            batches = (_make_batches(pending, jobs) if batch
+                       else [(point,) for point in pending])
+            workers = min(jobs, len(batches))
             context = _pool_context()
             needs_path = context.get_start_method() != "fork"
             saved_path = _ensure_worker_import_path() if needs_path else None
             try:
                 with ProcessPoolExecutor(
                         max_workers=workers, mp_context=context) as pool:
-                    futures = {pool.submit(_compute_payload, point): point
-                               for point in pending}
+                    futures = {pool.submit(_compute_batch, group): group
+                               for group in batches}
                     remaining = set(futures)
                     failure: Exception | None = None
                     while remaining:
                         finished, remaining = wait(
                             remaining, return_when=FIRST_COMPLETED)
                         for future in finished:
-                            point = futures[future]
+                            group = futures[future]
                             try:
-                                payload = future.result()
+                                entries = future.result()
                             except Exception as exc:
-                                # Keep draining: sibling points that
-                                # completed must still reach the cache so
-                                # a retry only recomputes the failed one.
+                                # A whole-batch failure (e.g. a dead
+                                # worker); keep draining so completed
+                                # sibling batches still reach the cache.
                                 if failure is None:
                                     failure = exc
                                 continue
-                            results[point] = _finish(
-                                point, payload, keys, cache)
-                            done += 1
-                            emit(point, "worker")
+                            for point, (status, payload) in zip(
+                                    group, entries):
+                                if status != "ok":
+                                    # Keep draining: sibling points that
+                                    # completed must still reach the
+                                    # cache so a retry only recomputes
+                                    # the failed one.
+                                    if failure is None:
+                                        failure = payload
+                                    continue
+                                results[point] = _finish(
+                                    point, payload, keys, cache)
+                                done += 1
+                                emit(point, "worker")
                     if failure is not None:
                         raise failure
             finally:
@@ -201,7 +305,8 @@ def _finish(point: ExperimentPoint, payload: dict,
 def run_points(points, *, jobs: int | None = None,
                cache: ResultCache | None = None, use_cache: bool = True,
                progress: ProgressCallback | None = None,
+               batch: bool | None = None,
                ) -> dict[ExperimentPoint, SimulationResult]:
     """Convenience wrapper: plan from explicit points, then run."""
     return run_plan(plan_from_points(points), jobs=jobs, cache=cache,
-                    use_cache=use_cache, progress=progress)
+                    use_cache=use_cache, progress=progress, batch=batch)

@@ -1,0 +1,107 @@
+"""Pre-decoded static instruction table (the simulation hot path).
+
+The timing engine, the functional core and the wrong-path fetcher all
+inspect the *same* static instruction millions of times per run.  The
+seed implementation re-derived everything per dynamic instance (category
+properties, source tuples, opcode ``if/elif`` chains); this module decodes
+each static instruction exactly once into a flat per-PC table of slotted
+records holding
+
+* the raw opcode int and the functional-unit latency class,
+* the source-register tuple and the destination template
+  (``needs_dest`` — writes a renamable destination register),
+* the category flags the engine branches on (``is_load`` / ``is_store`` /
+  ``is_cond_branch``),
+* the immediate and resolved control-flow target.
+
+:meth:`repro.isa.program.Program.decoded` builds and caches one
+:class:`DecodedProgram` per program; consumers index it by PC.  The table
+is purely derived data — the :class:`~repro.isa.instructions.Instruction`
+objects stay the source of truth (``tests/isa/test_decoded.py`` checks the
+table against them field by field over every registered workload).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    COND_BRANCH_OPS,
+    LOAD_OPS,
+    STORE_OPS,
+    Instruction,
+    Op,
+)
+
+# Functional-unit latency classes (engine _execute dispatch).
+FU_ALU = 0      # single-cycle integer ALU (reg/imm ALU ops and branches)
+FU_OTHER = 1    # frontend-resolved control / NOP / HALT (1 cycle)
+FU_LOAD = 2     # address generation + D-cache access
+FU_STORE = 3    # address/data staged into the LSQ
+FU_MULT = 4     # pipelined multiplier
+FU_DIV = 5      # unpipelined divider (DIV and REM)
+
+_OP_HALT = int(Op.HALT)
+
+
+def _fu_class(opcode: int) -> int:
+    if opcode in LOAD_OPS:
+        return FU_LOAD
+    if opcode in STORE_OPS:
+        return FU_STORE
+    if opcode == int(Op.MULT):
+        return FU_MULT
+    if opcode in (int(Op.DIV), int(Op.REM)):
+        return FU_DIV
+    if (opcode in ALU_REG_OPS or opcode in ALU_IMM_OPS
+            or opcode in COND_BRANCH_OPS):
+        return FU_ALU
+    return FU_OTHER
+
+
+class DecodedInst:
+    """One static instruction, flattened for indexed hot-path dispatch."""
+
+    __slots__ = (
+        "pc", "inst", "op", "rd", "rs1", "rs2", "imm", "target",
+        "sources", "needs_dest", "is_load", "is_store", "is_cond_branch",
+        "is_halt", "fu_class", "byte_pc",
+    )
+
+    def __init__(self, pc: int, inst: Instruction) -> None:
+        self.pc = pc
+        self.inst = inst
+        self.op = inst.opcode
+        self.rd = inst.rd
+        self.rs1 = inst.rs1
+        self.rs2 = inst.rs2
+        self.imm = inst.imm
+        self.target = inst.target
+        self.sources = inst.sources()
+        self.is_load = inst.is_load
+        self.is_store = inst.is_store
+        self.is_cond_branch = inst.is_cond_branch
+        self.is_halt = inst.opcode == _OP_HALT
+        # Destination template: writes a renamable physical register
+        # (stores carry rs2 data but allocate no destination; r0 writes
+        # are architectural discards and never rename).
+        self.needs_dest = (inst.rd is not None and inst.rd != 0
+                           and not self.is_store)
+        self.fu_class = _fu_class(inst.opcode)
+        self.byte_pc = pc * 4
+
+
+class DecodedProgram:
+    """Flat per-PC decode of a program; index with ``decoded[pc]``."""
+
+    __slots__ = ("insts",)
+
+    def __init__(self, instructions: list[Instruction]) -> None:
+        self.insts = [DecodedInst(pc, inst)
+                      for pc, inst in enumerate(instructions)]
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def __getitem__(self, pc: int) -> DecodedInst:
+        return self.insts[pc]

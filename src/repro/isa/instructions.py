@@ -158,6 +158,11 @@ class Instruction:
     are source logical registers (or ``None``); ``imm`` is the immediate /
     displacement; ``target`` is a branch/jump target — a label string before
     assembly and an instruction index afterwards.
+
+    Category flags (``is_load``, ``is_cond_branch``, ...) and the source
+    tuple are decoded once at construction — static instructions are
+    inspected millions of times on the simulation hot path, so they are
+    plain attributes, not properties.
     """
 
     op: Op
@@ -167,45 +172,40 @@ class Instruction:
     imm: int = 0
     target: int | str | None = None
     label: str | None = field(default=None, compare=False)
+    # Decode-once category flags (derived; excluded from eq/repr).
+    opcode: int = field(init=False, repr=False, compare=False)
+    is_load: bool = field(init=False, repr=False, compare=False)
+    is_store: bool = field(init=False, repr=False, compare=False)
+    is_mem: bool = field(init=False, repr=False, compare=False)
+    is_cond_branch: bool = field(init=False, repr=False, compare=False)
+    is_jump: bool = field(init=False, repr=False, compare=False)
+    is_control: bool = field(init=False, repr=False, compare=False)
+    is_muldiv: bool = field(init=False, repr=False, compare=False)
+    _sources: tuple[int, ...] = field(init=False, repr=False, compare=False)
 
-    # -- category helpers ---------------------------------------------------
-
-    @property
-    def is_load(self) -> bool:
-        return int(self.op) in LOAD_OPS
-
-    @property
-    def is_store(self) -> bool:
-        return int(self.op) in STORE_OPS
-
-    @property
-    def is_mem(self) -> bool:
-        return int(self.op) in LOAD_OPS or int(self.op) in STORE_OPS
-
-    @property
-    def is_cond_branch(self) -> bool:
-        return int(self.op) in COND_BRANCH_OPS
-
-    @property
-    def is_jump(self) -> bool:
-        return int(self.op) in JUMP_OPS
-
-    @property
-    def is_control(self) -> bool:
-        return int(self.op) in CONTROL_OPS
-
-    @property
-    def is_muldiv(self) -> bool:
-        return int(self.op) in MULDIV_OPS
+    def __post_init__(self) -> None:
+        opcode = int(self.op)
+        self.opcode = opcode
+        self.is_load = opcode in LOAD_OPS
+        self.is_store = opcode in STORE_OPS
+        self.is_mem = self.is_load or self.is_store
+        self.is_cond_branch = opcode in COND_BRANCH_OPS
+        self.is_jump = opcode in JUMP_OPS
+        self.is_control = self.is_cond_branch or self.is_jump
+        self.is_muldiv = opcode in MULDIV_OPS
+        if self.rs1 is not None:
+            if self.rs2 is not None:
+                self._sources = (self.rs1, self.rs2)
+            else:
+                self._sources = (self.rs1,)
+        elif self.rs2 is not None:
+            self._sources = (self.rs2,)
+        else:
+            self._sources = ()
 
     def sources(self) -> tuple[int, ...]:
         """Logical source registers actually read by this instruction."""
-        srcs = []
-        if self.rs1 is not None:
-            srcs.append(self.rs1)
-        if self.rs2 is not None:
-            srcs.append(self.rs2)
-        return tuple(srcs)
+        return self._sources
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return disassemble(self)

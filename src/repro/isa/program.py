@@ -29,6 +29,12 @@ class Program:
     entry: int = 0
     memory_bytes: int = DEFAULT_MEMORY_BYTES
     name: str = "program"
+    # Lazily built derived views (excluded from eq/repr): the pre-decoded
+    # instruction table and the pristine initial-memory image template.
+    _decoded: object = field(default=None, init=False, repr=False,
+                             compare=False)
+    _memory_image: bytes | None = field(default=None, init=False,
+                                        repr=False, compare=False)
 
     def __post_init__(self) -> None:
         for addr in self.data_words:
@@ -45,12 +51,26 @@ class Program:
     def __len__(self) -> int:
         return len(self.instructions)
 
+    def decoded(self):
+        """The flat pre-decoded per-PC table (built once, then cached)."""
+        if self._decoded is None:
+            from repro.isa.decoded import DecodedProgram
+            self._decoded = DecodedProgram(self.instructions)
+        return self._decoded
+
     def initial_memory(self) -> bytearray:
-        """Build the initial memory image (little-endian words)."""
-        mem = bytearray(self.memory_bytes)
-        for addr, word in self.data_words.items():
-            mem[addr:addr + 4] = (word & 0xFFFFFFFF).to_bytes(4, "little")
-        return mem
+        """Build the initial memory image (little-endian words).
+
+        The pristine image is rendered once and copied per call — every
+        simulation point on a shared program gets a fresh image without
+        re-walking the data-word dict.
+        """
+        if self._memory_image is None:
+            mem = bytearray(self.memory_bytes)
+            for addr, word in self.data_words.items():
+                mem[addr:addr + 4] = (word & 0xFFFFFFFF).to_bytes(4, "little")
+            self._memory_image = bytes(mem)
+        return bytearray(self._memory_image)
 
     def listing(self) -> str:
         """Human-readable disassembly listing with labels."""

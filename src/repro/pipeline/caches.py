@@ -29,6 +29,8 @@ class SetAssociativeCache:
         if 1 << self._line_shift != config.line_bytes:
             raise ValueError("line size must be a power of two")
         self._num_sets = config.num_sets
+        self._assoc = config.assoc
+        self.hit_latency = config.hit_latency
         # Each set is a dict tag -> recency counter; dict order is not used,
         # an explicit counter implements exact LRU.
         self._sets: list[dict[int, int]] = [dict() for _ in range(self._num_sets)]
@@ -49,10 +51,11 @@ class SetAssociativeCache:
         wrong-path fill is a real fill — pollution) but count into the
         separate wrong-path statistics.
         """
-        self._tick += 1
+        tick = self._tick + 1
+        self._tick = tick
         cache_set, tag = self._locate(addr)
         if tag in cache_set:
-            cache_set[tag] = self._tick
+            cache_set[tag] = tick
             if wrong_path:
                 self.wrong_path_hits += 1
             else:
@@ -62,10 +65,10 @@ class SetAssociativeCache:
             self.wrong_path_misses += 1
         else:
             self.misses += 1
-        if len(cache_set) >= self.config.assoc:
+        if len(cache_set) >= self._assoc:
             victim = min(cache_set, key=cache_set.__getitem__)
             del cache_set[victim]
-        cache_set[tag] = self._tick
+        cache_set[tag] = tick
         return False
 
     def probe(self, addr: int) -> bool:
@@ -176,12 +179,14 @@ class MemoryHierarchy:
     def _access(self, level1: SetAssociativeCache, tlb: TLB,
                 addr: int, wrong_path: bool = False) -> int:
         latency = tlb.access(addr, wrong_path=wrong_path)
+        l1_hit_latency = level1.hit_latency
         if level1.access(addr, wrong_path=wrong_path):
-            return latency + level1.config.hit_latency
-        latency += level1.config.hit_latency  # detect the miss
-        if self.l2.access(addr, wrong_path=wrong_path):
-            return latency + self.l2.config.hit_latency
-        return latency + self.l2.config.hit_latency + self.config.memory_latency
+            return latency + l1_hit_latency
+        latency += l1_hit_latency  # detect the miss
+        l2 = self.l2
+        if l2.access(addr, wrong_path=wrong_path):
+            return latency + l2.hit_latency
+        return latency + l2.hit_latency + self.config.memory_latency
 
     def instruction_latency(self, addr: int, *, wrong_path: bool = False) -> int:
         return self._access(self.l1i, self.itlb, addr, wrong_path)

@@ -56,12 +56,15 @@ from repro.core.ddt import FastDDT
 from repro.core.rse import ChainInfoTable
 from repro.core.shadow import ShadowMapTable, ShadowRegisterFile
 from repro.isa import regs
-from repro.isa.instructions import (
-    ALU_IMM_OPS,
-    ALU_REG_OPS,
-    MULDIV_OPS,
-    Op,
+from repro.isa.decoded import (
+    FU_ALU,
+    FU_DIV,
+    FU_LOAD,
+    FU_MULT,
+    FU_STORE,
+    DecodedInst,
 )
+from repro.isa.instructions import Op
 from repro.isa.program import Program
 from repro.pipeline.bandwidth import BandwidthLimiter
 from repro.pipeline.caches import MemoryHierarchy
@@ -80,6 +83,9 @@ from repro.speculation.checkpoint import CrossCheckedDDT, RecoveryManager
 from repro.speculation.wrongpath import WrongPathCore
 
 _REDIRECT_LATENCY = 1  # cycles to restart fetch after a resolved mispredict
+
+_OP_JAL = int(Op.JAL)
+_OP_JR = int(Op.JR)
 
 
 @dataclass(slots=True)
@@ -172,6 +178,16 @@ class PipelineEngine:
         # Pending stores for forwarding: word addr -> (data ready, commit).
         self._pending_stores: dict[int, tuple[int, int]] = {}
 
+        # Hot-loop constants and views, hoisted out of the per-instruction
+        # path (attribute chains through config are surprisingly costly).
+        self._decoded = program.decoded().insts
+        self._frontend_depth = config.frontend_depth
+        self._rename_offset = config.rename_offset
+        self._icache_hit_latency = config.icache.hit_latency
+        self._alu_latency = config.alu_latency
+        self._mult_latency = config.mult_latency
+        self._div_latency = config.div_latency
+
         self.result = SimulationResult(
             benchmark=program.name,
             configuration=self._config_name(),
@@ -191,8 +207,14 @@ class PipelineEngine:
 
     def run(self, max_instructions: int = 10_000_000) -> SimulationResult:
         """Simulate until HALT or the instruction budget; returns stats."""
-        for dyn in self.core.run(max_instructions):
-            self._process(dyn)
+        core = self.core
+        step = core.step
+        process = self._process
+        while not core.halted and core.instruction_count < max_instructions:
+            dyn = step()
+            if dyn is None:
+                break
+            process(dyn)
         result = self.result
         result.total_instructions = self.core.instruction_count
         result.total_cycles = self._last_commit
@@ -216,55 +238,59 @@ class PipelineEngine:
     # -- per-instruction processing --------------------------------------------------
 
     def _process(self, dyn: DynInst) -> None:
-        config = self.config
-        measured = dyn.seq >= self.warmup_instructions
+        seq = dyn.seq
+        measured = seq >= self.warmup_instructions
+        d: DecodedInst = self._decoded[dyn.pc]
+        is_load = d.is_load
+        is_store = d.is_store
+        is_cond_branch = d.is_cond_branch
 
         # ---- fetch -------------------------------------------------------
-        earliest = self._fetch_barrier
-        earliest = self.rob.earliest_allocation(earliest)
-        is_mem = dyn.is_load or dyn.is_store
+        earliest = self.rob.earliest_allocation(self._fetch_barrier)
+        is_mem = is_load or is_store
         if is_mem:
             earliest = self.lsq.earliest_allocation(earliest)
-        byte_pc = dyn.pc * 4
+        byte_pc = d.byte_pc
         line = byte_pc & self._line_mask
         if line != self._last_fetch_line:
             self._last_fetch_line = line
             latency = self.memory.instruction_latency(byte_pc)
-            extra = latency - config.icache.hit_latency
+            extra = latency - self._icache_hit_latency
             if extra > 0:
                 earliest += extra
         fetch = self.fetch_bw.schedule(earliest)
 
         # ---- rename (early, one cycle after fetch) -------------------------
-        rename_cycle = fetch + config.rename_offset
-        self._retire_until(rename_cycle)
+        rename_cycle = fetch + self._rename_offset
+        queue = self._retire_queue
+        if queue and queue[0].commit <= rename_cycle:
+            self._retire_until(rename_cycle)
 
-        inst = dyn.inst
-        src_logicals = inst.sources()
-        src_pregs = self.rename.lookup_many(src_logicals)
+        src_pregs = self.rename.lookup_many(d.sources)
 
         # Branch prediction reads the DDT *before* the branch is inserted.
         decision = None
-        if dyn.is_cond_branch:
+        if is_cond_branch:
             decision = self._predict_branch(dyn, src_pregs, fetch)
 
         dest_preg: int | None = None
         displaced: int | None = None
-        if inst.rd is not None and inst.rd != 0 and not dyn.is_store:
-            dest_preg, displaced = self.rename.rename_dest(inst.rd)
-            self.shadow_map.record(dest_preg, inst.rd)
+        if d.needs_dest:
+            dest_preg, displaced = self.rename.rename_dest(d.rd)
+            self.shadow_map.record(dest_preg, d.rd)
 
         token = self.ddt.allocate(dest_preg, src_pregs)
-        self.chains.insert(token, dest_preg, src_pregs, is_load=dyn.is_load)
+        self.chains.insert(token, dest_preg, src_pregs, is_load=is_load)
 
         # ---- issue / execute ------------------------------------------------
-        dispatch = fetch + config.frontend_depth
+        dispatch = fetch + self._frontend_depth
         ready = dispatch
+        preg_ready = self._preg_ready
         for preg in src_pregs:
-            when = self._preg_ready[preg]
+            when = preg_ready[preg]
             if when > ready:
                 ready = when
-        issue, complete = self._execute(dyn, ready)
+        issue, complete = self._execute(dyn, d, ready)
 
         # ---- commit ----------------------------------------------------------
         commit_req = complete + 1
@@ -277,66 +303,71 @@ class PipelineEngine:
             self.lsq.allocate(commit)
 
         # ---- writeback bookkeeping -------------------------------------------
+        result = dyn.result
+        value = result if result is not None else 0
         if dest_preg is not None:
-            value = dyn.result if dyn.result is not None else 0
-            self._preg_ready[dest_preg] = complete
+            preg_ready[dest_preg] = complete
             self._preg_value[dest_preg] = value
             self._preg_pending[dest_preg] = True
-            self._preg_is_load[dest_preg] = dyn.is_load
-            if dyn.is_load:
+            self._preg_is_load[dest_preg] = is_load
+            if is_load:
                 self._preg_hoist_avail[dest_preg] = self._hoist_available(
                     dyn, src_pregs, complete, issue)
-        if dyn.is_store and dyn.addr is not None:
+        if is_store and dyn.addr is not None:
             word = dyn.addr & ~3
             self._pending_stores[word] = (complete, commit)
 
-        self._retire_queue.append(_RetireEntry(
-            token=token, dest_preg=dest_preg,
-            value=dyn.result if dyn.result is not None else 0,
+        queue.append(_RetireEntry(
+            token=token, dest_preg=dest_preg, value=value,
             commit=commit, displaced=displaced))
 
         # ---- control flow resolution ------------------------------------------
         mispredicted = False
-        if dyn.is_cond_branch:
+        if is_cond_branch:
             mispredicted = self._resolve_branch(
                 dyn, decision, fetch, complete, measured, token)
-        elif dyn.op == Op.JAL:
+        elif dyn.op == _OP_JAL:
             self.ras.push(dyn.pc + 1)
-        elif dyn.op == Op.JR:
+        elif dyn.op == _OP_JR:
             self.ras.pop(dyn.next_pc)
         # J/JAL targets are decoded in the frontend; JR is modelled via a
         # perfect RAS (its real accuracy is reported in the stats).
 
         # ---- statistics ---------------------------------------------------------
-        if dyn.seq == self.warmup_instructions:
+        if seq == self.warmup_instructions:
             self._measured_start_cycle = commit
         if measured:
-            if dyn.is_load:
+            if is_load:
                 self.result.loads += 1
-            elif dyn.is_store:
+            elif is_store:
                 self.result.stores += 1
 
         if self.observers:
             record = TimingRecord(
-                seq=dyn.seq, pc=dyn.pc, op=dyn.op, fetch=fetch,
+                seq=seq, pc=dyn.pc, op=dyn.op, fetch=fetch,
                 dispatch=dispatch, issue=issue, complete=complete,
                 commit=commit,
                 chain_length=self.ddt.chain_length(*src_pregs),
-                is_load=dyn.is_load, is_branch=dyn.is_cond_branch,
+                is_load=is_load, is_branch=is_cond_branch,
                 mispredicted=mispredicted)
             for observer in self.observers:
                 observer(record, dyn)
 
     # -- execution timing --------------------------------------------------------
 
-    def _execute(self, dyn: DynInst, ready: int) -> tuple[int, int]:
+    def _execute(self, dyn: DynInst, d: DecodedInst,
+                 ready: int) -> tuple[int, int]:
         """Claim functional units; returns (issue, complete) cycles."""
-        config = self.config
-        op = dyn.op
-        if dyn.is_load:
+        fu = d.fu_class
+        units = self.units
+        if fu == FU_ALU:
+            # Register/immediate ALU ops and conditional branches.
+            issue = units.int_alu.issue(ready)
+            return issue, issue + self._alu_latency
+        if fu == FU_LOAD:
             # Address generation on an ALU, then the D-cache access.
-            agen = self.units.int_alu.issue(ready)
-            access = self.units.dcache_port.issue(agen + 1)
+            agen = units.int_alu.issue(ready)
+            access = units.dcache_port.issue(agen + 1)
             word = dyn.addr & ~3 if dyn.addr is not None else 0
             pending = self._pending_stores.get(word)
             if pending is not None and pending[1] > access:
@@ -346,21 +377,19 @@ class PipelineEngine:
             else:
                 complete = access + self.memory.data_latency(dyn.addr or 0)
             return agen, complete
-        if dyn.is_store:
+        if fu == FU_STORE:
             # Address + data staged into the LSQ; memory written at commit.
-            issue = self.units.int_alu.issue(ready)
+            issue = units.int_alu.issue(ready)
             return issue, issue + 1
-        if op in MULDIV_OPS:
-            latency = (config.mult_latency if op == Op.MULT
-                       else config.div_latency)
-            occupancy = 1 if op == Op.MULT else latency
-            issue = self.units.int_muldiv.issue(ready, occupancy)
+        if fu == FU_MULT:
+            issue = units.int_muldiv.issue(ready)
+            return issue, issue + self._mult_latency
+        if fu == FU_DIV:
+            latency = self._div_latency
+            issue = units.int_muldiv.issue(ready, latency)
             return issue, issue + latency
-        if op in ALU_REG_OPS or op in ALU_IMM_OPS or dyn.is_cond_branch:
-            issue = self.units.int_alu.issue(ready)
-            return issue, issue + config.alu_latency
         # Jumps, NOP, HALT: resolved in the frontend/ALU in one cycle.
-        issue = self.units.int_alu.issue(ready)
+        issue = units.int_alu.issue(ready)
         return issue, issue + 1
 
     def _hoist_available(self, dyn: DynInst, src_pregs: tuple[int, ...],
@@ -405,25 +434,29 @@ class PipelineEngine:
         regset = self.chains.extract(tokens, branch_srcs=src_pregs)
         mode = self.value_mode
         views = []
+        preg_pending = self._preg_pending
+        logical_id = self.shadow_map.logical_id
+        shadow_read = self.shadow_values.read
+        value_mask = (1 << self.shadow_values.value_bits) - 1
+        is_perfect = mode is ValueMode.PERFECT
+        is_load_back = mode is ValueMode.LOAD_BACK
         for preg in sorted(regset):
-            pending = self._preg_pending[preg]
-            if not pending:
+            if not preg_pending[preg]:
                 views.append(RegisterView(
-                    preg=preg, logical=self.shadow_map.logical_id(preg),
-                    available=True, value=self.shadow_values.read(preg)))
+                    preg=preg, logical=logical_id(preg),
+                    available=True, value=shadow_read(preg)))
                 continue
-            if mode is ValueMode.PERFECT or (
-                    mode is ValueMode.LOAD_BACK
+            if is_perfect or (
+                    is_load_back
                     and self._preg_is_load[preg]
                     and self._preg_hoist_avail[preg] <= fetch):
                 views.append(RegisterView(
-                    preg=preg, logical=self.shadow_map.logical_id(preg),
+                    preg=preg, logical=logical_id(preg),
                     available=True,
-                    value=self._preg_value[preg]
-                    & ((1 << self.shadow_values.value_bits) - 1)))
+                    value=self._preg_value[preg] & value_mask))
             else:
                 views.append(RegisterView(
-                    preg=preg, logical=self.shadow_map.logical_id(preg),
+                    preg=preg, logical=logical_id(preg),
                     available=False, value=0))
         return ARVIRequest(
             pc=dyn.pc,
@@ -521,32 +554,31 @@ class PipelineEngine:
         memory = self.memory
         rename = self.rename
         ddt = self.ddt
+        decoded = self._decoded
         fetched = 0
         while fetched < budget and ddt.in_flight < config.rob_entries:
             wp = core.step()
             if wp is None:
                 break
-            inst = wp.inst
-            needs_dest = (inst.rd is not None and inst.rd != 0
-                          and not wp.is_store)
+            wd: DecodedInst = decoded[wp.pc]
+            needs_dest = wd.needs_dest
             if needs_dest and rename.free_count == 0:
                 break  # frontend stalls on the free list until the squash
             fetched += 1
             # I-side pollution: every new fetch line is a real access.
-            byte_pc = wp.pc * 4
-            line = byte_pc & self._line_mask
+            line = wd.byte_pc & self._line_mask
             if line != self._last_fetch_line:
                 self._last_fetch_line = line
-                memory.instruction_latency(byte_pc, wrong_path=True)
-            src_pregs = rename.lookup_many(inst.sources())
+                memory.instruction_latency(wd.byte_pc, wrong_path=True)
+            src_pregs = rename.lookup_many(wd.sources)
             dest_preg = None
             if needs_dest:
-                dest_preg, _displaced = rename.rename_dest(inst.rd)
+                dest_preg, _displaced = rename.rename_dest(wd.rd)
                 checkpoint.wrong_path_pregs.append(dest_preg)
-                self.shadow_map.record(dest_preg, inst.rd)
+                self.shadow_map.record(dest_preg, wd.rd)
             token = ddt.allocate(dest_preg, src_pregs)
             self.chains.insert(token, dest_preg, src_pregs,
-                               is_load=wp.is_load)
+                               is_load=wd.is_load)
             if wp.is_load and wp.addr is not None:
                 # D-side pollution: the speculative load really fills.
                 memory.data_latency(wp.addr, wrong_path=True)
@@ -564,15 +596,22 @@ class PipelineEngine:
     def _retire_until(self, cycle: int) -> None:
         """Commit DDT entries whose commit cycle has passed."""
         queue = self._retire_queue
+        commit_oldest = self.ddt.commit_oldest
+        discard = self.chains.discard
+        shadow_write = self.shadow_values.write
+        preg_pending = self._preg_pending
+        release = self.rename.release
+        popleft = queue.popleft
         while queue and queue[0].commit <= cycle:
-            entry = queue.popleft()
-            self.ddt.commit_oldest()
-            self.chains.discard(entry.token)
-            if entry.dest_preg is not None:
-                self.shadow_values.write(entry.dest_preg, entry.value)
-                self._preg_pending[entry.dest_preg] = False
+            entry = popleft()
+            commit_oldest()
+            discard(entry.token)
+            dest = entry.dest_preg
+            if dest is not None:
+                shadow_write(dest, entry.value)
+                preg_pending[dest] = False
             if entry.displaced is not None:
-                self.rename.release(entry.displaced)
+                release(entry.displaced)
 
 
 # -- convenience constructors ------------------------------------------------------

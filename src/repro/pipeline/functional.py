@@ -6,26 +6,30 @@ dynamic instruction (values, branch outcomes, effective addresses).  The
 out-of-order timing model consumes this stream, attaching cycle timestamps
 and driving the predictors and the DDT.
 
-Instruction semantics live in :func:`execute_instruction`, which is
-re-entrant over an abstract *state* (register file + memory accessors +
-``halted`` flag).  :class:`FunctionalCore` is the architectural state; the
-speculation subsystem (``repro.speculation.wrongpath``) drives the same
-function over copy-on-write views to synthesize wrong-path instruction
-streams without mutating architectural state (DESIGN.md §2.2).
+Instruction semantics live in a per-opcode handler table (``_DISPATCH``)
+indexed by the raw opcode int — one indexed call per instruction instead
+of the seed's ``if/elif`` opcode chain.  Every handler is re-entrant over
+an abstract *state* (register file + memory accessors + ``halted`` flag):
+:class:`FunctionalCore` is the architectural state; the speculation
+subsystem (``repro.speculation.wrongpath``) drives the same handlers over
+copy-on-write views to synthesize wrong-path instruction streams without
+mutating architectural state (DESIGN.md §2.2).  :func:`execute_instruction`
+remains the single-call entry point over the table.
+
+Arithmetic is bit-for-bit identical to the seed implementation: the
+``to_u32`` / ``to_s32`` wrappers are inlined as ``& 0xFFFFFFFF`` and
+``((x & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000``, which agree with the
+function forms for every Python int.
 """
 
 from __future__ import annotations
 
 from repro.isa import regs
-from repro.isa.instructions import (
-    Instruction,
-    Op,
-    branch_taken,
-    disassemble,
-    to_s32,
-    to_u32,
-)
+from repro.isa.instructions import Instruction, Op, disassemble
 from repro.isa.program import DATA_BASE, STACK_TOP, Program
+
+_WM = 0xFFFFFFFF
+_SIGN = 0x80000000
 
 
 class ExecutionError(RuntimeError):
@@ -45,7 +49,7 @@ class DynInst:
         self.seq = seq
         self.pc = pc
         self.inst = inst
-        self.op = int(inst.op)
+        self.op = inst.opcode
         self.rd = inst.rd
         self.rs1 = inst.rs1
         self.rs2 = inst.rs2
@@ -64,6 +68,273 @@ class DynInst:
         return f"<DynInst #{self.seq} pc={self.pc} {disassemble(self.inst)}>"
 
 
+# -- per-opcode handlers --------------------------------------------------
+#
+# Handler contract: ``dyn`` is freshly initialized (``next_pc == pc + 1``,
+# ``result``/``taken``/``addr``/``store_value`` None, svals 0).  Handlers
+# read operands, record ``sval1``/``sval2``, apply the architectural
+# effect through ``state`` and fill in the outcome fields.  The shared
+# result tail replicates the seed exactly: a computed result is written to
+# the register file unless ``rd`` is None or r0; an r0 write is an
+# architectural discard (``result`` coerced to 0).
+
+
+def _make_rr(compute):
+    """Handler factory: reg-reg op, shared operand reads + writeback tail."""
+    def handler(state, dyn):
+        inst = dyn.inst
+        regfile = state.registers
+        a = regfile[inst.rs1]
+        b = regfile[inst.rs2]
+        dyn.sval1 = a
+        dyn.sval2 = b
+        r = compute(a, b)
+        rd = inst.rd
+        if rd:
+            regfile[rd] = r
+        elif rd == 0:
+            r = 0
+        dyn.result = r
+        return dyn
+    return handler
+
+
+def _make_ri(compute):
+    """Handler factory: reg-immediate op with the shared writeback tail."""
+    def handler(state, dyn):
+        inst = dyn.inst
+        regfile = state.registers
+        a = regfile[inst.rs1]
+        dyn.sval1 = a
+        r = compute(a, inst.imm)
+        rd = inst.rd
+        if rd:
+            regfile[rd] = r
+        elif rd == 0:
+            r = 0
+        dyn.result = r
+        return dyn
+    return handler
+
+
+def _make_load(loader):
+    """Handler factory: displacement load (address recorded, then tail)."""
+    def handler(state, dyn):
+        inst = dyn.inst
+        regfile = state.registers
+        a = regfile[inst.rs1]
+        dyn.sval1 = a
+        addr = (a + inst.imm) & _WM
+        dyn.addr = addr
+        r = loader(state, addr)
+        rd = inst.rd
+        if rd:
+            regfile[rd] = r
+        elif rd == 0:
+            r = 0
+        dyn.result = r
+        return dyn
+    return handler
+
+
+def _make_branch(test):
+    """Handler factory: compare-and-branch (no register writeback)."""
+    def handler(state, dyn):
+        inst = dyn.inst
+        regfile = state.registers
+        a = regfile[inst.rs1]
+        b = regfile[inst.rs2]
+        dyn.sval1 = a
+        dyn.sval2 = b
+        taken = test(a, b)
+        dyn.taken = taken
+        if taken:
+            dyn.next_pc = inst.target
+        return dyn
+    return handler
+
+
+def _s32(x):
+    """Signed view of a 32-bit value (exact inline form of ``to_s32``)."""
+    return ((x & _WM) ^ _SIGN) - _SIGN
+
+
+def _div32(a, b):
+    sa = _s32(a)
+    sb = _s32(b)
+    return 0 if sb == 0 else int(sa / sb) & _WM
+
+
+def _rem32(a, b):
+    sa = _s32(a)
+    sb = _s32(b)
+    return 0 if sb == 0 else (sa - int(sa / sb) * sb) & _WM
+
+
+def _ex_lui(state, dyn):
+    inst = dyn.inst
+    r = (inst.imm << 16) & _WM
+    rd = inst.rd
+    if rd:
+        state.registers[rd] = r
+    elif rd == 0:
+        r = 0
+    dyn.result = r
+    return dyn
+
+
+def _ex_sw(state, dyn):
+    inst = dyn.inst
+    regfile = state.registers
+    a = regfile[inst.rs1]
+    b = regfile[inst.rs2]
+    dyn.sval1 = a
+    dyn.sval2 = b
+    addr = (a + inst.imm) & _WM
+    dyn.addr = addr
+    dyn.store_value = b
+    state.store_word(addr, b)
+    return dyn
+
+
+def _ex_sb(state, dyn):
+    inst = dyn.inst
+    regfile = state.registers
+    a = regfile[inst.rs1]
+    b = regfile[inst.rs2]
+    dyn.sval1 = a
+    dyn.sval2 = b
+    addr = (a + inst.imm) & _WM
+    dyn.addr = addr
+    dyn.store_value = b & 0xFF
+    state.store_byte(addr, b)
+    return dyn
+
+
+def _ex_j(state, dyn):
+    dyn.next_pc = dyn.inst.target
+    return dyn
+
+
+def _ex_jal(state, dyn):
+    inst = dyn.inst
+    r = dyn.pc + 1
+    dyn.next_pc = inst.target
+    rd = inst.rd
+    if rd:
+        state.registers[rd] = r
+    elif rd == 0:
+        r = 0
+    dyn.result = r
+    return dyn
+
+
+def _ex_jr(state, dyn):
+    inst = dyn.inst
+    a = state.registers[inst.rs1]
+    dyn.sval1 = a
+    dyn.next_pc = a
+    return dyn
+
+
+def _ex_jalr(state, dyn):
+    inst = dyn.inst
+    regfile = state.registers
+    a = regfile[inst.rs1]
+    dyn.sval1 = a
+    r = dyn.pc + 1
+    dyn.next_pc = a
+    rd = inst.rd
+    if rd:
+        regfile[rd] = r
+    elif rd == 0:
+        r = 0
+    dyn.result = r
+    return dyn
+
+
+def _ex_nop(state, dyn):
+    return dyn
+
+
+def _ex_halt(state, dyn):
+    state.halted = True
+    dyn.next_pc = dyn.pc
+    return dyn
+
+
+def _ex_unimplemented(state, dyn):  # pragma: no cover - all opcodes handled
+    raise ExecutionError(f"unimplemented opcode {Op(dyn.op)!r}")
+
+
+_HANDLERS = {
+    Op.ADD: _make_rr(lambda a, b: (a + b) & _WM),
+    Op.SUB: _make_rr(lambda a, b: (a - b) & _WM),
+    Op.AND: _make_rr(lambda a, b: a & b),
+    Op.OR: _make_rr(lambda a, b: a | b),
+    Op.XOR: _make_rr(lambda a, b: a ^ b),
+    Op.NOR: _make_rr(lambda a, b: ~(a | b) & _WM),
+    Op.SLL: _make_rr(lambda a, b: (a << (b & 31)) & _WM),
+    Op.SRL: _make_rr(lambda a, b: a >> (b & 31)),
+    Op.SRA: _make_rr(lambda a, b: (_s32(a) >> (b & 31)) & _WM),
+    Op.SLT: _make_rr(lambda a, b: 1 if _s32(a) < _s32(b) else 0),
+    Op.SLTU: _make_rr(lambda a, b: 1 if a < b else 0),
+    Op.MULT: _make_rr(lambda a, b: (_s32(a) * _s32(b)) & _WM),
+    Op.DIV: _make_rr(_div32),
+    Op.REM: _make_rr(_rem32),
+    Op.ADDI: _make_ri(lambda a, imm: (a + imm) & _WM),
+    Op.ANDI: _make_ri(lambda a, imm: a & (imm & 0xFFFF)),
+    Op.ORI: _make_ri(lambda a, imm: a | (imm & 0xFFFF)),
+    Op.XORI: _make_ri(lambda a, imm: a ^ (imm & 0xFFFF)),
+    Op.SLTI: _make_ri(lambda a, imm: 1 if _s32(a) < imm else 0),
+    Op.SLLI: _make_ri(lambda a, imm: (a << (imm & 31)) & _WM),
+    Op.SRLI: _make_ri(lambda a, imm: a >> (imm & 31)),
+    Op.SRAI: _make_ri(lambda a, imm: (_s32(a) >> (imm & 31)) & _WM),
+    Op.LUI: _ex_lui,
+    Op.LW: _make_load(lambda state, addr: state.load_word(addr)),
+    Op.LB: _make_load(
+        lambda state, addr: state.load_byte(addr, signed=True) & _WM),
+    Op.LBU: _make_load(lambda state, addr: state.load_byte(addr, signed=False)),
+    Op.SW: _ex_sw,
+    Op.SB: _ex_sb,
+    Op.BEQ: _make_branch(lambda a, b: (a & _WM) == (b & _WM)),
+    Op.BNE: _make_branch(lambda a, b: (a & _WM) != (b & _WM)),
+    Op.BLT: _make_branch(lambda a, b: _s32(a) < _s32(b)),
+    Op.BGE: _make_branch(lambda a, b: _s32(a) >= _s32(b)),
+    Op.BLE: _make_branch(lambda a, b: _s32(a) <= _s32(b)),
+    Op.BGT: _make_branch(lambda a, b: _s32(a) > _s32(b)),
+    Op.J: _ex_j,
+    Op.JAL: _ex_jal,
+    Op.JR: _ex_jr,
+    Op.JALR: _ex_jalr,
+    Op.NOP: _ex_nop,
+    Op.HALT: _ex_halt,
+}
+
+#: Opcode-indexed dispatch table (list indexing beats dict lookup and the
+#: seed's ~15-comparison ``if/elif`` chain on the per-instruction path).
+_DISPATCH = [_ex_unimplemented] * (max(int(op) for op in Op) + 1)
+for _op, _handler in _HANDLERS.items():
+    _DISPATCH[int(_op)] = _handler
+del _HANDLERS
+
+
+def execute_instruction(state, dyn: DynInst) -> DynInst:
+    """Execute ``dyn.inst`` against ``state``, filling in ``dyn``'s effects.
+
+    ``state`` is any object exposing the architectural interface:
+    ``registers`` (32-entry indexable), ``load_word`` / ``load_byte`` /
+    ``store_word`` / ``store_byte``, and a writable ``halted`` flag.
+    :class:`FunctionalCore` is the real architectural state; the wrong-path
+    fetcher passes copy-on-write views so speculative execution leaves the
+    architectural state untouched.  Register writes and memory stores go
+    through ``state``; ``dyn.next_pc`` carries the control-flow outcome
+    back to the caller (which owns the pc).
+    """
+    dyn.next_pc = dyn.pc + 1
+    return _DISPATCH[dyn.op](state, dyn)
+
+
 class FunctionalCore:
     """In-order architectural interpreter for assembled programs."""
 
@@ -76,6 +347,8 @@ class FunctionalCore:
         self.pc = program.entry
         self.halted = False
         self.instruction_count = 0
+        # Hot-path aliases over the pre-decoded per-PC table.
+        self._decoded = program.decoded().insts
 
     # -- memory helpers ------------------------------------------------------
 
@@ -114,12 +387,13 @@ class FunctionalCore:
         """Execute one instruction; returns None once halted."""
         if self.halted:
             return None
-        if not 0 <= self.pc < len(self.program.instructions):
-            raise ExecutionError(f"pc out of range: {self.pc}")
-        inst = self.program.instructions[self.pc]
-        dyn = DynInst(self.instruction_count, self.pc, inst)
+        pc = self.pc
+        decoded = self._decoded
+        if not 0 <= pc < len(decoded):
+            raise ExecutionError(f"pc out of range: {pc}")
+        dyn = DynInst(self.instruction_count, pc, decoded[pc].inst)
         self.instruction_count += 1
-        execute_instruction(self, dyn)
+        _DISPATCH[dyn.op](self, dyn)
         self.pc = dyn.next_pc
         return dyn
 
@@ -136,122 +410,3 @@ class FunctionalCore:
         for _ in self.run(max_instructions):
             pass
         return self.instruction_count
-
-
-def execute_instruction(state, dyn: DynInst) -> DynInst:
-    """Execute ``dyn.inst`` against ``state``, filling in ``dyn``'s effects.
-
-    ``state`` is any object exposing the architectural interface:
-    ``registers`` (32-entry indexable), ``load_word`` / ``load_byte`` /
-    ``store_word`` / ``store_byte``, and a writable ``halted`` flag.
-    :class:`FunctionalCore` is the real architectural state; the wrong-path
-    fetcher passes copy-on-write views so speculative execution leaves the
-    architectural state untouched.  Register writes and memory stores go
-    through ``state``; ``dyn.next_pc`` carries the control-flow outcome
-    back to the caller (which owns the pc).
-    """
-    inst = dyn.inst
-    op = inst.op
-    regfile = state.registers
-
-    a = regfile[inst.rs1] if inst.rs1 is not None else 0
-    b = regfile[inst.rs2] if inst.rs2 is not None else 0
-    dyn.sval1, dyn.sval2 = a, b
-    result: int | None = None
-    next_pc = dyn.pc + 1
-
-    if op is Op.ADD:
-        result = to_u32(a + b)
-    elif op is Op.SUB:
-        result = to_u32(a - b)
-    elif op is Op.AND:
-        result = a & b
-    elif op is Op.OR:
-        result = a | b
-    elif op is Op.XOR:
-        result = a ^ b
-    elif op is Op.NOR:
-        result = to_u32(~(a | b))
-    elif op is Op.SLL:
-        result = to_u32(a << (b & 31))
-    elif op is Op.SRL:
-        result = a >> (b & 31)
-    elif op is Op.SRA:
-        result = to_u32(to_s32(a) >> (b & 31))
-    elif op is Op.SLT:
-        result = 1 if to_s32(a) < to_s32(b) else 0
-    elif op is Op.SLTU:
-        result = 1 if a < b else 0
-    elif op is Op.MULT:
-        result = to_u32(to_s32(a) * to_s32(b))
-    elif op is Op.DIV:
-        sa, sb = to_s32(a), to_s32(b)
-        result = 0 if sb == 0 else to_u32(int(sa / sb))
-    elif op is Op.REM:
-        sa, sb = to_s32(a), to_s32(b)
-        result = 0 if sb == 0 else to_u32(sa - int(sa / sb) * sb)
-    elif op is Op.ADDI:
-        result = to_u32(a + inst.imm)
-    elif op is Op.ANDI:
-        result = a & (inst.imm & 0xFFFF)
-    elif op is Op.ORI:
-        result = a | (inst.imm & 0xFFFF)
-    elif op is Op.XORI:
-        result = a ^ (inst.imm & 0xFFFF)
-    elif op is Op.SLTI:
-        result = 1 if to_s32(a) < inst.imm else 0
-    elif op is Op.SLLI:
-        result = to_u32(a << (inst.imm & 31))
-    elif op is Op.SRLI:
-        result = a >> (inst.imm & 31)
-    elif op is Op.SRAI:
-        result = to_u32(to_s32(a) >> (inst.imm & 31))
-    elif op is Op.LUI:
-        result = to_u32(inst.imm << 16)
-    elif op is Op.LW:
-        dyn.addr = to_u32(a + inst.imm)
-        result = state.load_word(dyn.addr)
-    elif op is Op.LB:
-        dyn.addr = to_u32(a + inst.imm)
-        result = to_u32(state.load_byte(dyn.addr, signed=True))
-    elif op is Op.LBU:
-        dyn.addr = to_u32(a + inst.imm)
-        result = state.load_byte(dyn.addr, signed=False)
-    elif op is Op.SW:
-        dyn.addr = to_u32(a + inst.imm)
-        dyn.store_value = b
-        state.store_word(dyn.addr, b)
-    elif op is Op.SB:
-        dyn.addr = to_u32(a + inst.imm)
-        dyn.store_value = b & 0xFF
-        state.store_byte(dyn.addr, b)
-    elif dyn.is_cond_branch:
-        taken = branch_taken(op, a, b)
-        dyn.taken = taken
-        if taken:
-            next_pc = inst.target  # type: ignore[assignment]
-    elif op is Op.J:
-        next_pc = inst.target  # type: ignore[assignment]
-    elif op is Op.JAL:
-        result = dyn.pc + 1
-        next_pc = inst.target  # type: ignore[assignment]
-    elif op is Op.JR:
-        next_pc = a
-    elif op is Op.JALR:
-        result = dyn.pc + 1
-        next_pc = a
-    elif op is Op.NOP:
-        pass
-    elif op is Op.HALT:
-        state.halted = True
-        next_pc = dyn.pc
-    else:  # pragma: no cover - all opcodes handled above
-        raise ExecutionError(f"unimplemented opcode {op!r}")
-
-    if result is not None and inst.rd is not None and inst.rd != 0:
-        regfile[inst.rd] = result
-    if inst.rd == 0:
-        result = 0 if result is not None else None
-    dyn.result = result
-    dyn.next_pc = next_pc
-    return dyn

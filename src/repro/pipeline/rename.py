@@ -47,7 +47,17 @@ class RenameMap:
         return self._map[logical]
 
     def lookup_many(self, logicals) -> tuple[int, ...]:
-        return tuple(self._map[lr] for lr in logicals)
+        # Source tuples are 0-2 wide; explicit construction avoids the
+        # generator machinery on the per-instruction rename path.
+        m = self._map
+        n = len(logicals)
+        if n == 2:
+            return (m[logicals[0]], m[logicals[1]])
+        if n == 1:
+            return (m[logicals[0]],)
+        if n == 0:
+            return ()
+        return tuple(m[lr] for lr in logicals)
 
     @property
     def free_count(self) -> int:

@@ -87,6 +87,7 @@ class SaturatingCounterTable:
         self.entries = entries
         self.bits = bits
         self.maximum = (1 << bits) - 1
+        self._half = (self.maximum + 1) // 2
         start = initial if initial is not None else 1 << (bits - 1)
         self._counters = [start] * entries
 
@@ -95,7 +96,7 @@ class SaturatingCounterTable:
 
     def is_high(self, index: int) -> bool:
         """Counter in the upper half (predict taken)."""
-        return self._counters[index % self.entries] >= (self.maximum + 1) // 2
+        return self._counters[index % self.entries] >= self._half
 
     def nudge(self, index: int, up: bool) -> None:
         slot = index % self.entries

@@ -55,27 +55,44 @@ class TwoBcGskew(BranchPredictor):
         self.g1_history = g1_history if g1_history is not None else min(
             _HISTORY_REG_BITS, index_bits + 4)
         self.history = GlobalHistory(_HISTORY_REG_BITS)
+        # Precomputed index-hash constants (the hot path computes these
+        # four indices twice per branch: once to predict, once to train).
+        self._index_mask = (1 << index_bits) - 1
+        self._g0_hist_mask = (1 << self.g0_history) - 1
+        self._g1_hist_mask = (1 << self.g1_history) - 1
+        # Memoized indices for the predict->train pair: the engine trains
+        # each branch with the same (pc, history) it predicted with, so
+        # the second computation is a pure replay.
+        self._indices_key: tuple[int, int] | None = None
+        self._indices_value: tuple[int, int, int, int] = (0, 0, 0, 0)
 
     # -- indexing -------------------------------------------------------------
 
-    def _skew_index(self, pc: int, history_bits: int, variant: int) -> int:
-        """Per-bank skewing hash over (PC, history)."""
+    def _skew_index(self, pc: int, hist_mask: int, variant: int) -> int:
+        """Per-bank skewing hash over (PC, history & hist_mask)."""
         bits = self.index_bits
-        mask = (1 << bits) - 1
-        hist = self.history.low(history_bits)
-        folded = hist
+        mask = self._index_mask
+        folded = self.history.value & hist_mask
         while folded >> bits:
             folded = (folded & mask) ^ (folded >> bits)
         skew = _rotate(folded, variant * 3 + 1, bits)
         return (pc ^ skew ^ (pc >> (bits - variant))) & mask
 
     def _indices(self, pc: int) -> tuple[int, int, int, int]:
-        mask = (1 << self.index_bits) - 1
-        bim_idx = pc & mask
-        g0_idx = self._skew_index(pc, self.g0_history, 1)
-        g1_idx = self._skew_index(pc, self.g1_history, 2)
-        meta_idx = (pc ^ (self.history.low(self.g0_history) << 1)) & mask
-        return bim_idx, g0_idx, g1_idx, meta_idx
+        hist = self.history.value
+        key = (pc, hist)
+        if key == self._indices_key:
+            return self._indices_value
+        mask = self._index_mask
+        value = (
+            pc & mask,
+            self._skew_index(pc, self._g0_hist_mask, 1),
+            self._skew_index(pc, self._g1_hist_mask, 2),
+            (pc ^ ((hist & self._g0_hist_mask) << 1)) & mask,
+        )
+        self._indices_key = key
+        self._indices_value = value
+        return value
 
     # -- prediction -------------------------------------------------------------
 

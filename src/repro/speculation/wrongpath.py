@@ -24,11 +24,10 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.isa.instructions import Op
 from repro.pipeline.functional import (
+    _DISPATCH,
     DynInst,
     ExecutionError,
-    execute_instruction,
 )
 from repro.isa.program import Program
 
@@ -135,6 +134,7 @@ class WrongPathCore:
         self.halted = False
         self.fetched = 0
         self.faulted = False
+        self._decoded = program.decoded().insts
 
     # Memory interface for execute_instruction (delegates to the COW view,
     # keeping the faulting pc current for error messages).
@@ -160,23 +160,24 @@ class WrongPathCore:
         a HALT was fetched, or the instruction faulted.
         """
         pc = self.pc
-        if self.halted or not 0 <= pc < len(self.program.instructions):
+        decoded = self._decoded
+        if self.halted or not 0 <= pc < len(decoded):
             return None
-        inst = self.program.instructions[pc]
-        if inst.op is Op.HALT:
+        d = decoded[pc]
+        if d.is_halt:
             # A speculative HALT stalls fetch; it never retires.
             return None
-        dyn = DynInst(self.fetched, pc, inst)
+        dyn = DynInst(self.fetched, pc, d.inst)
         self._memory.pc = pc
-        if dyn.is_cond_branch:
+        if d.is_cond_branch:
             # No outcome exists yet: record the data-determined direction
             # for observability, but *fetch* follows the prediction.
-            execute_instruction(self, dyn)
+            _DISPATCH[d.op](self, dyn)
             predicted = bool(self.predict(pc))
-            dyn.next_pc = inst.target if predicted else pc + 1
+            dyn.next_pc = d.target if predicted else pc + 1
         else:
             try:
-                execute_instruction(self, dyn)
+                _DISPATCH[d.op](self, dyn)
             except ExecutionError:
                 self.faulted = True
                 return None

@@ -3,12 +3,17 @@
 The acceptance grid for the experiment service: a 2-benchmark x 4-config
 x 2-depth sweep must produce identical keyed results under
 ``REPRO_JOBS=1``, ``REPRO_JOBS=4`` and a cached re-run — and the cached
-replay must be at least 10x faster than the cold run.
+replay must be at least 10x faster than the cold run.  The hypothesis
+property extends the equality invariant to in-worker batching: batched,
+unbatched-parallel, serial and cache-replayed grids are ``==``.
 """
 
+import tempfile
 import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.plan import (
@@ -18,7 +23,13 @@ from repro.experiments.plan import (
     point_key,
 )
 from repro.experiments.runner import run_suite
-from repro.experiments.scheduler import default_jobs, run_plan, run_points
+from repro.experiments.scheduler import (
+    _make_batches,
+    default_batching,
+    default_jobs,
+    run_plan,
+    run_points,
+)
 
 GRID = dict(configurations=("baseline", "current", "load back", "perfect"),
             depths=(20, 40), benchmarks=("li", "vortex"),
@@ -153,3 +164,88 @@ class TestSchedulerBehaviour:
         assert default_jobs() >= 1
         monkeypatch.delenv("REPRO_JOBS")
         assert default_jobs() >= 1
+
+    def test_default_batching_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert default_batching() is True
+        for off in ("0", "false", "no", "off", "FALSE"):
+            monkeypatch.setenv("REPRO_BATCH", off)
+            assert default_batching() is False
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        assert default_batching() is True
+
+
+class TestBatching:
+    """In-worker point batching (ROADMAP item closed by PR 3)."""
+
+    @given(
+        groups=st.lists(
+            st.tuples(st.sampled_from(["li", "vortex", "compress", "gcc"]),
+                      st.sampled_from([0.01, 0.02]),
+                      st.integers(1, 3),
+                      st.integers(1, 9)),
+            min_size=1, max_size=6, unique_by=lambda g: g[:3]),
+        jobs=st.integers(1, 8),
+    )
+    def test_make_batches_partitions_benchmark_pure(self, groups, jobs):
+        """Batches partition the pending list, never mix workloads, and
+        produce enough chunks to keep every worker busy."""
+        pending = [
+            ExperimentPoint(benchmark, "baseline", 20, scale=scale,
+                            warmup=100, seed=seed)
+            for benchmark, scale, seed, count in groups
+            for _ in range(count)
+        ]
+        batches = _make_batches(pending, jobs)
+        assert all(batch for batch in batches)
+        # Benchmark-pure: one workload identity per batch.
+        for batch in batches:
+            identities = {(p.benchmark, p.scale, p.seed) for p in batch}
+            assert len(identities) == 1
+        # Partition: flattening restores the pending multiset, and the
+        # per-identity order is preserved.
+        flattened = [point for batch in batches for point in batch]
+        assert sorted(map(id, flattened)) == sorted(map(id, pending))
+        for key in {(p.benchmark, p.scale, p.seed) for p in pending}:
+            assert ([p for p in flattened
+                     if (p.benchmark, p.scale, p.seed) == key]
+                    == [p for p in pending
+                        if (p.benchmark, p.scale, p.seed) == key])
+        # Enough parallelism: at least min(jobs, len(pending)) batches.
+        assert len(batches) >= min(jobs, len({g[:3] for g in groups}))
+        assert len(batches) <= len(pending)
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        benchmarks=st.lists(st.sampled_from(["li", "compress"]),
+                            min_size=1, max_size=2, unique=True),
+        configurations=st.lists(
+            st.sampled_from(["baseline", "current", "perfect"]),
+            min_size=1, max_size=2, unique=True),
+        depths=st.lists(st.sampled_from([20, 40]), min_size=1, max_size=2,
+                        unique=True),
+        seed=st.integers(1, 2),
+    )
+    def test_batched_parallel_serial_and_cached_grids_are_equal(
+            self, benchmarks, configurations, depths, seed):
+        """The satellite property: batched, unbatched-parallel, serial
+        and cache-replayed execution return ``==`` results."""
+        plan = plan_from_points([
+            ExperimentPoint(benchmark, configuration, depth, scale=0.01,
+                            warmup=50, seed=seed)
+            for benchmark in benchmarks
+            for configuration in configurations
+            for depth in depths
+        ])
+        serial = run_plan(plan, jobs=1, use_cache=False)
+        batched = run_plan(plan, jobs=2, use_cache=False, batch=True)
+        unbatched = run_plan(plan, jobs=2, use_cache=False, batch=False)
+        assert batched == serial
+        assert unbatched == serial
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ResultCache(tmp)
+            for point, result in serial.items():
+                store.put(point_key(point), result)
+            replayed = run_plan(plan, jobs=1, cache=store)
+            assert replayed == serial
+            assert store.hits >= len(plan)

@@ -1,0 +1,118 @@
+"""The pre-decoded table is a faithful flattening of the instructions.
+
+The decoded per-PC table is pure derived data; these tests check it
+against the original :class:`Instruction` objects field by field over
+every registered workload, and pin the functional-unit classification the
+engine's ``_execute`` dispatches on.
+"""
+
+import pytest
+
+from repro.isa.decoded import (
+    FU_ALU,
+    FU_DIV,
+    FU_LOAD,
+    FU_MULT,
+    FU_OTHER,
+    FU_STORE,
+    DecodedProgram,
+)
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    COND_BRANCH_OPS,
+    LOAD_OPS,
+    STORE_OPS,
+    Op,
+)
+from repro.pipeline.functional import DynInst
+from repro.workloads.registry import BENCHMARKS, get_program
+
+
+@pytest.mark.parametrize("workload", BENCHMARKS)
+def test_decoded_matches_instructions_over_every_workload(workload):
+    program = get_program(workload, scale=0.05)
+    decoded = program.decoded()
+    assert len(decoded) == len(program.instructions)
+    for pc, inst in enumerate(program.instructions):
+        d = decoded[pc]
+        assert d.pc == pc
+        assert d.inst is inst
+        assert d.op == int(inst.op)
+        assert d.rd == inst.rd
+        assert d.rs1 == inst.rs1
+        assert d.rs2 == inst.rs2
+        assert d.imm == inst.imm
+        assert d.target == inst.target
+        assert d.sources == inst.sources()
+        assert d.is_load == inst.is_load
+        assert d.is_store == inst.is_store
+        assert d.is_cond_branch == inst.is_cond_branch
+        assert d.is_halt == (inst.op is Op.HALT)
+        assert d.needs_dest == (inst.rd is not None and inst.rd != 0
+                                and not inst.is_store)
+        assert d.byte_pc == pc * 4
+
+
+@pytest.mark.parametrize("workload", BENCHMARKS)
+def test_decoded_flags_match_dyninst_flags(workload):
+    """DynInst carries the same decode the engine reads from the table."""
+    program = get_program(workload, scale=0.05)
+    decoded = program.decoded()
+    for pc, inst in enumerate(program.instructions):
+        dyn = DynInst(0, pc, inst)
+        d = decoded[pc]
+        assert (dyn.op, dyn.rd, dyn.rs1, dyn.rs2) == (d.op, d.rd, d.rs1,
+                                                      d.rs2)
+        assert (dyn.is_load, dyn.is_store, dyn.is_cond_branch) == (
+            d.is_load, d.is_store, d.is_cond_branch)
+
+
+def test_fu_classification_covers_every_opcode():
+    decoded = DecodedProgram(
+        [_inst(op) for op in Op])
+    for d in decoded.insts:
+        op = d.op
+        if op in LOAD_OPS:
+            expected = FU_LOAD
+        elif op in STORE_OPS:
+            expected = FU_STORE
+        elif op == int(Op.MULT):
+            expected = FU_MULT
+        elif op in (int(Op.DIV), int(Op.REM)):
+            expected = FU_DIV
+        elif op in ALU_REG_OPS or op in ALU_IMM_OPS or op in COND_BRANCH_OPS:
+            expected = FU_ALU
+        else:
+            expected = FU_OTHER
+        assert d.fu_class == expected, Op(op)
+
+
+def _inst(op: Op):
+    """A structurally plausible instruction for each opcode category."""
+    from repro.isa.instructions import Instruction
+
+    opcode = int(op)
+    if opcode in ALU_REG_OPS or opcode in (int(Op.MULT), int(Op.DIV),
+                                           int(Op.REM)):
+        return Instruction(op, rd=1, rs1=2, rs2=3)
+    if opcode in ALU_IMM_OPS:
+        if op is Op.LUI:
+            return Instruction(op, rd=1, imm=4)
+        return Instruction(op, rd=1, rs1=2, imm=4)
+    if opcode in LOAD_OPS:
+        return Instruction(op, rd=1, rs1=2, imm=0)
+    if opcode in STORE_OPS:
+        return Instruction(op, rs1=1, rs2=2, imm=0)
+    if opcode in COND_BRANCH_OPS:
+        return Instruction(op, rs1=1, rs2=2, target=0)
+    if op in (Op.J, Op.JAL):
+        return Instruction(op, target=0)
+    if op in (Op.JR, Op.JALR):
+        return Instruction(op, rd=1 if op is Op.JALR else None, rs1=2)
+    return Instruction(op)
+
+
+def test_decoded_table_is_cached_per_program():
+    program = get_program("m88ksim", scale=0.05)
+    assert program.decoded() is program.decoded()
