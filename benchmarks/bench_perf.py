@@ -1,12 +1,13 @@
-"""Tracked simulator-performance benchmark (DESIGN.md §7).
+"""Tracked simulator-performance benchmark (DESIGN.md §7-§8).
 
 Runs the ``repro.bench`` harness — simulated-instructions/sec and
-per-point wall time for m88ksim/compress in both speculation modes, plus
-the batched-vs-per-point cold grid — and refreshes ``BENCH_perf.json`` at
-the repository root so the perf trajectory is tracked alongside the paper
-artifacts.  ``REPRO_SCALE`` rescales the measured points exactly like the
-figure benchmarks (the recorded baseline is only comparable at its own
-scale).
+per-point wall time for m88ksim/compress in both speculation modes, the
+trace-replay vs live-core comparison (whose replay==live equality is a
+hard correctness gate), and the batched/traced cold grids — and
+refreshes ``BENCH_perf.json`` at the repository root so the perf
+trajectory is tracked alongside the paper artifacts.  ``REPRO_SCALE``
+rescales the measured points exactly like the figure benchmarks (the
+recorded baseline is only comparable at its own scale).
 """
 
 from __future__ import annotations
@@ -25,6 +26,16 @@ def test_perf_harness(save_result, scale):
     assert report["points"], "no points measured"
     for key, sample in report["points"].items():
         assert sample["sim_ips"] > 0, f"{key}: bad throughput"
+    trace = report.get("trace_replay")
+    if trace is not None:
+        # measure_trace_replay raised already if replay != live; here we
+        # only sanity-check the recorded numbers.
+        for benchmark, sample in trace.items():
+            assert sample["replay_sim_ips"] > 0, f"{benchmark}: bad replay"
+            assert sample["record_seconds"] >= 0
     grid = report.get("grid_batching")
     if grid is not None:
         assert grid["batched_seconds"] > 0
+    grid_trace = report.get("grid_trace")
+    if grid_trace is not None:
+        assert grid_trace["traced_seconds"] > 0

@@ -6,23 +6,32 @@ is tracked from PR 3 onward:
 
 * **single points**: m88ksim and compress, ``baseline`` configuration,
   20-stage machine, in both speculation modes (``redirect`` and
-  ``wrongpath``), best-of-N wall time;
+  ``wrongpath``), best-of-N wall time (always the live functional core);
+* **trace replay** (DESIGN.md §8): for the redirect points, live-core
+  sim-ips vs replaying a recorded committed trace — the recording cost,
+  the warm replay throughput, and the speedup.  Replay and live results
+  **must** be bit-for-bit equal; a divergence raises and fails the run
+  (this is the CI correctness gate — perf numbers stay informational);
 * **grid batching**: a cold same-benchmark grid (cache disabled) run
   twice through the process-pool scheduler — once with in-worker point
-  batching, once per-point — to track the scheduling-overhead win.
+  batching, once per-point — to track the scheduling-overhead win;
+* **grid trace amortization**: a redirect configuration x depth grid run
+  with trace sharing on vs off (``REPRO_TRACE``), tracking the
+  batch-amortized record-once/replay-many win.
 
 Results are written to ``BENCH_perf.json`` at the repository root.  The
 file carries a ``baseline`` section (the pre-optimization seed numbers,
 recorded when the harness was introduced) that is preserved across runs;
-when the current run's scale/warmup match the baseline's, per-point
-speedups are reported against it.  Numbers are host-dependent —
-comparisons are only meaningful on the same machine.
+when the current run's scale/warmup match the baseline's, per-point and
+trace-replay speedups are reported against it.  Numbers are
+host-dependent — comparisons are only meaningful on the same machine.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -32,8 +41,11 @@ from datetime import datetime, timezone
 from repro.experiments.plan import ExperimentPoint, plan_from_points
 from repro.experiments.runner import execute_point
 from repro.experiments.scheduler import run_plan
+from repro.pipeline.trace import TraceRecorder
+from repro.workloads.registry import get_program
 
-SCHEMA_VERSION = 1
+#: v2: trace_replay + grid_trace sections (PR 4).
+SCHEMA_VERSION = 2
 
 #: Single-point measurements: (benchmark, speculation mode).
 POINT_MATRIX = (
@@ -69,7 +81,7 @@ def measure_point(benchmark: str, speculation: str, *, scale: float,
     instructions = 0
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
-        result = execute_point(point)
+        result = execute_point(point, trace=False)  # always the live core
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best:
             best = elapsed
@@ -78,6 +90,56 @@ def measure_point(benchmark: str, speculation: str, *, scale: float,
         "instructions": instructions,
         "wall_seconds": round(best, 4),
         "sim_ips": round(instructions / best, 1),
+    }
+
+
+def measure_trace_replay(benchmark: str, *, scale: float, warmup: int,
+                         repeats: int = 3) -> dict:
+    """Live-core vs trace-replay sim-ips for one redirect point.
+
+    Records the committed trace once (timed), replays it through the
+    same timing configuration (warm best-of-``repeats``, so the
+    materialized stream is shared the way a batch shares it), and
+    *asserts* the replayed ``SimulationResult`` equals the live one —
+    the correctness gate CI relies on.
+    """
+    point = ExperimentPoint(benchmark, "baseline", 20, scale=scale,
+                            warmup=warmup).resolve()
+    live_best = None
+    live_result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        live_result = execute_point(point, trace=False)
+        elapsed = time.perf_counter() - start
+        if live_best is None or elapsed < live_best:
+            live_best = elapsed
+
+    program = get_program(benchmark, scale=point.scale, seed=point.seed)
+    start = time.perf_counter()
+    trace = TraceRecorder(program).record()
+    record_seconds = time.perf_counter() - start
+
+    replay_best = None
+    replay_result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        replay_result = execute_point(point, trace=trace)
+        elapsed = time.perf_counter() - start
+        if replay_best is None or elapsed < replay_best:
+            replay_best = elapsed
+
+    if replay_result != live_result:  # the hard correctness gate
+        raise AssertionError(
+            f"{benchmark}: trace-replay result diverged from the live "
+            "functional core")
+    instructions = live_result.total_instructions
+    return {
+        "instructions": instructions,
+        "live_sim_ips": round(instructions / live_best, 1),
+        "replay_sim_ips": round(instructions / replay_best, 1),
+        "record_seconds": round(record_seconds, 4),
+        "replay_wall_seconds": round(replay_best, 4),
+        "replay_speedup": round(live_best / replay_best, 4),
     }
 
 
@@ -123,6 +185,58 @@ def measure_grid_batching(*, scale: float, warmup: int, jobs: int = 2,
     }
 
 
+def measure_grid_trace(*, scale: float, warmup: int, jobs: int = 2,
+                       repeats: int = 2) -> dict:
+    """Batch-amortized trace win: a redirect config x depth grid, cold.
+
+    The same plan runs through the batched scheduler with trace sharing
+    on (record once per batch, replay every point) and off (live core
+    per point); results must be identical, only the wall time differs.
+    Unlike the batching grid this one uses the harness scale directly —
+    trace replay amortizes *simulation* work, so the points must be big
+    enough to measure.
+    """
+    points = [
+        ExperimentPoint(GRID_BENCHMARK, configuration, depth, scale=scale,
+                        warmup=warmup)
+        for configuration in GRID_CONFIGURATIONS
+        for depth in GRID_DEPTHS
+    ]
+    plan = plan_from_points(points)
+
+    timings: dict[str, float] = {}
+    outcomes: dict[str, dict] = {}
+    previous = os.environ.get("REPRO_TRACE")
+    try:
+        for _ in range(max(1, repeats)):
+            for mode in ("1", "0"):
+                os.environ["REPRO_TRACE"] = mode
+                start = time.perf_counter()
+                outcomes[mode] = run_plan(plan, jobs=jobs, use_cache=False,
+                                          batch=True)
+                elapsed = time.perf_counter() - start
+                if mode not in timings or elapsed < timings[mode]:
+                    timings[mode] = elapsed
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_TRACE", None)
+        else:
+            os.environ["REPRO_TRACE"] = previous
+
+    if outcomes["1"] != outcomes["0"]:  # the hard correctness gate
+        raise AssertionError("trace-shared and live grid results differ")
+    return {
+        "benchmark": GRID_BENCHMARK,
+        "points": len(plan),
+        "scale": scale,
+        "warmup": warmup,
+        "jobs": jobs,
+        "traced_seconds": round(timings["1"], 4),
+        "live_seconds": round(timings["0"], 4),
+        "trace_speedup": round(timings["0"] / timings["1"], 4),
+    }
+
+
 def _load_baseline(output: pathlib.Path) -> dict | None:
     """Carry the recorded pre-optimization baseline across runs."""
     try:
@@ -135,7 +249,7 @@ def _load_baseline(output: pathlib.Path) -> dict | None:
 
 def run_bench(*, scale: float = 1.0, warmup: int = 1000, repeats: int = 3,
               jobs: int = 2, grid_scale: float | None = None,
-              skip_grid: bool = False,
+              skip_grid: bool = False, skip_trace: bool = False,
               output: pathlib.Path | None = None,
               echo=print) -> dict:
     """Run the harness and write ``BENCH_perf.json``; returns the report."""
@@ -164,6 +278,26 @@ def run_bench(*, scale: float = 1.0, warmup: int = 1000, repeats: int = 3,
              f"({sample['instructions']} instructions, "
              f"{sample['wall_seconds']:.3f}s)")
 
+    if not skip_trace:
+        report["trace_replay"] = {}
+        for benchmark, speculation in POINT_MATRIX:
+            if speculation != "redirect":
+                continue  # replay only exists for redirect points
+            sample = measure_trace_replay(benchmark, scale=scale,
+                                          warmup=warmup, repeats=repeats)
+            report["trace_replay"][benchmark] = sample
+            echo(f"{benchmark} trace replay: "
+                 f"{sample['replay_sim_ips']:,.0f} sim-inst/s vs live "
+                 f"{sample['live_sim_ips']:,.0f} "
+                 f"({sample['replay_speedup']:.2f}x; record "
+                 f"{sample['record_seconds']:.3f}s, results identical)")
+        grid = measure_grid_trace(scale=scale, warmup=warmup, jobs=jobs)
+        report["grid_trace"] = grid
+        echo(f"grid trace sharing ({grid['points']} {GRID_BENCHMARK} "
+             f"redirect points, {grid['jobs']} workers): traced "
+             f"{grid['traced_seconds']:.2f}s vs live "
+             f"{grid['live_seconds']:.2f}s ({grid['trace_speedup']:.2f}x)")
+
     if not skip_grid:
         # Tiny windows: the grid measures scheduling overhead, not the
         # simulator, so each of its ~100 points should be milliseconds.
@@ -186,6 +320,11 @@ def run_bench(*, scale: float = 1.0, warmup: int = 1000, repeats: int = 3,
                 if base and base.get("sim_ips"):
                     speedups[key] = round(
                         sample["sim_ips"] / base["sim_ips"], 3)
+            for benchmark, sample in report.get("trace_replay", {}).items():
+                base = baseline.get("points", {}).get(f"{benchmark}/redirect")
+                if base and base.get("sim_ips"):
+                    speedups[f"{benchmark}/redirect via trace replay"] = (
+                        round(sample["replay_sim_ips"] / base["sim_ips"], 3))
             report["speedup_vs_baseline"] = speedups
             for key, ratio in speedups.items():
                 echo(f"{key}: {ratio:.2f}x vs baseline "
@@ -220,11 +359,15 @@ def main(argv: list[str] | None = None) -> int:
                              "points are kept tiny)")
     parser.add_argument("--skip-grid", action="store_true",
                         help="skip the batched-vs-per-point grid run")
+    parser.add_argument("--skip-trace", action="store_true",
+                        help="skip the trace-replay comparison (also "
+                             "skips its replay==live correctness gate)")
     parser.add_argument("--output", type=pathlib.Path, default=None,
                         help="output path (default: BENCH_perf.json at "
                              "the repo root)")
     args = parser.parse_args(argv)
     run_bench(scale=args.scale, warmup=args.warmup, repeats=args.repeats,
               jobs=args.jobs, grid_scale=args.grid_scale,
-              skip_grid=args.skip_grid, output=args.output)
+              skip_grid=args.skip_grid, skip_trace=args.skip_trace,
+              output=args.output)
     return 0

@@ -29,9 +29,11 @@ from repro.experiments.plan import (
     default_warmup,
 )
 from repro.experiments.scheduler import ProgressCallback, run_plan
+from repro.experiments.tracing import load_or_record, trace_mode
 from repro.pipeline.config import machine_for_depth
 from repro.pipeline.engine import PipelineEngine, build_predictor
 from repro.pipeline.stats import SimulationResult
+from repro.pipeline.trace import CommittedTrace, TraceReplayCore
 from repro.predictors.twolevel import LevelTwoKind
 from repro.workloads.registry import BENCHMARKS, get_program
 
@@ -52,13 +54,34 @@ _VALUE_MODES = {
 }
 
 
-def execute_point(point: ExperimentPoint) -> SimulationResult:
+def execute_point(point: ExperimentPoint, *,
+                  trace: "CommittedTrace | bool | None" = None,
+                  ) -> SimulationResult:
     """Simulate one *resolved* point (no cache, no default resolution).
 
     This is the single compute kernel every execution path funnels
     through — the serial loop and the pool workers both call it.
+
+    ``trace`` selects the functional source for ``redirect`` points
+    (results are bit-for-bit identical either way):
+
+    * a :class:`~repro.pipeline.trace.CommittedTrace` — replay it
+      instead of re-interpreting the program (how the scheduler shares
+      one recording across a batch);
+    * ``None`` (default) — honour the environment: under
+      ``REPRO_TRACE=disk`` the persistent trace store supplies (or
+      records) the trace, otherwise run the live core;
+    * ``False`` — force the live functional core regardless of the
+      environment (the perf harness measures the live path this way).
+
+    ``wrongpath`` points always run the live core.
     """
     point.validate()
+    if trace is not None and not isinstance(trace, CommittedTrace) \
+            and trace is not False:
+        raise TypeError(
+            "trace must be a CommittedTrace, False (force the live "
+            f"core) or None (honour REPRO_TRACE); got {trace!r}")
     if point.scale is None or point.warmup is None:
         raise ValueError(
             "execute_point requires a resolved point; call "
@@ -76,8 +99,15 @@ def execute_point(point: ExperimentPoint) -> SimulationResult:
                                     point.arvi_config)
         mode = _VALUE_MODES[point.configuration]
 
+    core = None
+    if point.speculation == "redirect" and trace is not False:
+        if trace is None and trace_mode() == "disk":
+            trace = load_or_record(point.benchmark, point.scale, point.seed)
+        if trace is not None:
+            core = TraceReplayCore(program, trace)
+
     engine = PipelineEngine(program, config, predictor, value_mode=mode,
-                            warmup_instructions=point.warmup)
+                            warmup_instructions=point.warmup, core=core)
     result = engine.run()
     result.configuration = point.configuration
     return result

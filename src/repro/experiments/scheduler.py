@@ -19,14 +19,25 @@ execution, and one failing point inside a batch does not discard its
 siblings' completed results.  ``REPRO_BATCH=0`` (or ``batch=False``)
 restores one-point-per-task submission.
 
+**Trace sharing** (``REPRO_TRACE``, default on; DESIGN.md §8): within a
+batch — and across a serial sweep — the ``redirect`` points of one
+workload identity share a single recorded committed-instruction trace
+(:mod:`repro.experiments.tracing`): the functional core runs once and
+every timing configuration replays the stream, which amortizes far more
+than the program build.  ``wrongpath`` points keep the live core.
+
 Determinism: every point is an independent, fully seeded simulation, and
 every result — computed serially, computed in a worker process (batched
-or not), or replayed from the cache — passes through the same
-``SimulationResult.to_dict``/``from_dict`` round trip, so the returned
-objects are bit-for-bit equal (``==``) no matter which path produced them.
+or not), replayed from a shared trace, or replayed from the cache —
+passes through the same ``SimulationResult.to_dict``/``from_dict`` round
+trip, so the returned objects are bit-for-bit equal (``==``) no matter
+which path produced them.
 
 Progress is streamed through an optional callback receiving one
-:class:`ProgressEvent` per completed point, in completion order.
+:class:`ProgressEvent` per completed point, in completion order: workers
+tick the parent through a manager queue after *every* point (carrying
+the batch id), so a large batched grid shows steady per-point progress
+instead of stalling until whole batches land.
 """
 
 from __future__ import annotations
@@ -34,6 +45,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pathlib
+import queue as queue_module
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -77,15 +89,11 @@ class ProgressEvent:
     total: int                # points in the plan
     source: str               # "cache" | "serial" | "worker"
     elapsed: float            # seconds since run_plan started
+    batch_id: str | None = None   # worker batch the point travelled in
+    batch_size: int = 1           # points in that batch
 
 
 ProgressCallback = Callable[[ProgressEvent], None]
-
-
-def _compute_payload(point: ExperimentPoint) -> dict:
-    """Worker entry: simulate one point, return its serialized result."""
-    from repro.experiments.runner import execute_point
-    return execute_point(point).to_dict()
 
 
 def _relayable_exception(exc: Exception) -> Exception:
@@ -112,22 +120,40 @@ def _relayable_exception(exc: Exception) -> Exception:
         return replacement
 
 
-def _compute_batch(points: tuple[ExperimentPoint, ...]) -> list[tuple]:
+def _compute_batch(points: tuple[ExperimentPoint, ...],
+                   batch_id: str | None = None,
+                   ticker=None) -> list[tuple]:
     """Worker entry: simulate a same-benchmark batch of points.
 
     The workload registry caches the shared ``Program`` (and its
     pre-decoded table) per process, so it is built once for the whole
-    batch.  Failures are isolated per point — the batch returns
-    ``("ok", payload)`` / ``("error", exception)`` entries positionally
-    so sibling results still reach the parent (and its cache).
+    batch — and under ``REPRO_TRACE`` the batch's ``redirect`` points
+    share a single recorded committed trace, so the functional core runs
+    once and every timing configuration replays it.  Failures are
+    isolated per point — the batch returns ``("ok", payload)`` /
+    ``("error", exception)`` entries positionally so sibling results
+    still reach the parent (and its cache).
+
+    ``ticker`` (a manager queue) receives ``(batch_id, index)`` after
+    each completed point so the parent can stream per-point progress
+    while the batch is still running.
     """
     from repro.experiments.runner import execute_point
+    from repro.experiments.tracing import SharedTraces
+    traces = SharedTraces(points)
     entries: list[tuple] = []
-    for point in points:
+    for index, point in enumerate(points):
         try:
-            entries.append(("ok", execute_point(point).to_dict()))
+            result = execute_point(point, trace=traces.get(point))
         except Exception as exc:  # noqa: BLE001 - relayed to the parent
             entries.append(("error", _relayable_exception(exc)))
+            continue
+        entries.append(("ok", result.to_dict()))
+        if ticker is not None:
+            try:
+                ticker.put((batch_id, index))
+            except Exception:  # noqa: BLE001 - a dead manager must not
+                ticker = None  # take the batch's results down with it
     return entries
 
 
@@ -217,12 +243,14 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
     results: dict[ExperimentPoint, SimulationResult] = {}
     done = 0
 
-    def emit(point: ExperimentPoint, source: str) -> None:
+    def emit(point: ExperimentPoint, source: str,
+             batch_id: str | None = None, batch_size: int = 1) -> None:
         if progress is not None:
             progress(ProgressEvent(
                 point=point, key=keys[point], completed=done,
                 total=len(plan), source=source,
-                elapsed=time.perf_counter() - started))
+                elapsed=time.perf_counter() - started,
+                batch_id=batch_id, batch_size=batch_size))
 
     pending: list[ExperimentPoint] = []
     for point in plan:
@@ -236,8 +264,15 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
 
     if pending:
         if jobs == 1 or len(pending) == 1:
+            from repro.experiments.runner import execute_point
+            from repro.experiments.tracing import SharedTraces
+
+            # The serial sweep shares recorded traces across its redirect
+            # points exactly like a worker batch does.
+            traces = SharedTraces(pending)
             for point in pending:
-                payload = _compute_payload(point)
+                payload = execute_point(
+                    point, trace=traces.get(point)).to_dict()
                 results[point] = _finish(point, payload, keys, cache)
                 done += 1
                 emit(point, "serial")
@@ -248,16 +283,42 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
             context = _pool_context()
             needs_path = context.get_start_method() != "fork"
             saved_path = _ensure_worker_import_path() if needs_path else None
+            # Per-point progress ticks travel through a manager queue so
+            # big batches do not look stalled; only created when someone
+            # is listening.
+            manager = context.Manager() if progress is not None else None
+            ticker = manager.Queue() if manager is not None else None
+            groups = {f"batch-{index}": group
+                      for index, group in enumerate(batches)}
+
+            def drain_ticker() -> None:
+                nonlocal done
+                if ticker is None:
+                    return
+                while True:
+                    try:
+                        batch_id, index = ticker.get_nowait()
+                    except queue_module.Empty:
+                        return
+                    group = groups[batch_id]
+                    done += 1
+                    emit(group[index], "worker", batch_id=batch_id,
+                         batch_size=len(group))
+
             try:
                 with ProcessPoolExecutor(
                         max_workers=workers, mp_context=context) as pool:
-                    futures = {pool.submit(_compute_batch, group): group
-                               for group in batches}
+                    futures = {
+                        pool.submit(_compute_batch, group,
+                                    batch_id=batch_id, ticker=ticker): group
+                        for batch_id, group in groups.items()}
                     remaining = set(futures)
                     failure: Exception | None = None
                     while remaining:
                         finished, remaining = wait(
-                            remaining, return_when=FIRST_COMPLETED)
+                            remaining, return_when=FIRST_COMPLETED,
+                            timeout=0.05 if ticker is not None else None)
+                        drain_ticker()
                         for future in finished:
                             group = futures[future]
                             try:
@@ -281,11 +342,14 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
                                     continue
                                 results[point] = _finish(
                                     point, payload, keys, cache)
-                                done += 1
-                                emit(point, "worker")
+                    # A worker's final ticks can land just after its
+                    # future resolves; one last drain catches them.
+                    drain_ticker()
                     if failure is not None:
                         raise failure
             finally:
+                if manager is not None:
+                    manager.shutdown()
                 if needs_path:
                     _restore_worker_import_path(saved_path)
 

@@ -28,6 +28,7 @@ from repro.isa.instructions import (
     ALU_REG_OPS,
     COND_BRANCH_OPS,
     LOAD_OPS,
+    MULDIV_OPS,
     STORE_OPS,
     Instruction,
     Op,
@@ -42,6 +43,16 @@ FU_MULT = 4     # pipelined multiplier
 FU_DIV = 5      # unpipelined divider (DIV and REM)
 
 _OP_HALT = int(Op.HALT)
+
+#: Opcodes whose functional handlers always produce ``DynInst.result``
+#: (reg/imm ALU including LUI, mult/div, loads, and the link writers).
+#: Stores, branches, J/JR, NOP and HALT never do.  The trace layer
+#: (``pipeline/trace.py``) relies on this being a pure opcode property to
+#: reconstruct result presence without per-instruction flags.
+RESULT_OPS = frozenset(
+    ALU_REG_OPS | MULDIV_OPS | ALU_IMM_OPS | LOAD_OPS
+    | {int(Op.JAL), int(Op.JALR)}
+)
 
 
 def _fu_class(opcode: int) -> int:
@@ -65,7 +76,7 @@ class DecodedInst:
     __slots__ = (
         "pc", "inst", "op", "rd", "rs1", "rs2", "imm", "target",
         "sources", "needs_dest", "is_load", "is_store", "is_cond_branch",
-        "is_halt", "fu_class", "byte_pc",
+        "is_halt", "has_result", "fu_class", "byte_pc",
     )
 
     def __init__(self, pc: int, inst: Instruction) -> None:
@@ -87,6 +98,7 @@ class DecodedInst:
         # are architectural discards and never rename).
         self.needs_dest = (inst.rd is not None and inst.rd != 0
                            and not self.is_store)
+        self.has_result = inst.opcode in RESULT_OPS
         self.fu_class = _fu_class(inst.opcode)
         self.byte_pc = pc * 4
 

@@ -22,11 +22,19 @@ from repro.pipeline.functional import DynInst, ExecutionError, FunctionalCore
 from repro.pipeline.rename import RenameError, RenameMap
 from repro.pipeline.rob import RetirementWindow
 from repro.pipeline.stats import BranchClassStats, SimulationResult
+from repro.pipeline.trace import (
+    CommittedTrace,
+    TraceError,
+    TraceRecorder,
+    TraceReplayCore,
+    record_trace,
+)
 
 __all__ = [
     "BandwidthLimiter",
     "BranchClassStats",
     "CacheConfig",
+    "CommittedTrace",
     "DynInst",
     "ExecutionError",
     "FunctionalCore",
@@ -44,8 +52,12 @@ __all__ = [
     "TLB",
     "TLBConfig",
     "TimingRecord",
+    "TraceError",
+    "TraceRecorder",
+    "TraceReplayCore",
     "build_predictor",
     "machine_for_depth",
+    "record_trace",
     "simulate",
     "table2_rows",
     "table4_rows",

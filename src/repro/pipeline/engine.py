@@ -41,6 +41,7 @@ DESIGN.md §2.2-§2.3):
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable
@@ -70,7 +71,11 @@ from repro.pipeline.bandwidth import BandwidthLimiter
 from repro.pipeline.caches import MemoryHierarchy
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.func_units import FunctionalUnits
-from repro.pipeline.functional import DynInst, FunctionalCore
+from repro.pipeline.functional import (
+    DEFAULT_MAX_INSTRUCTIONS,
+    DynInst,
+    FunctionalCore,
+)
 from repro.pipeline.rename import RenameMap
 from repro.pipeline.rob import RetirementWindow
 from repro.pipeline.stats import SimulationResult
@@ -109,13 +114,9 @@ class TimingRecord:
 Observer = Callable[[TimingRecord, DynInst], None]
 
 
-@dataclass(slots=True)
-class _RetireEntry:
-    token: int
-    dest_preg: int | None
-    value: int
-    commit: int
-    displaced: int | None
+# Retire-queue entries are plain tuples on the per-instruction path:
+# (token, dest_preg, value, commit, displaced).
+_RETIRE_COMMIT = 3  # tuple index of the commit cycle
 
 
 class PipelineEngine:
@@ -126,7 +127,8 @@ class PipelineEngine:
                  *, value_mode: ValueMode = ValueMode.CURRENT,
                  warmup_instructions: int = 0,
                  observers: list[Observer] | None = None,
-                 ddt_cross_check: bool = False) -> None:
+                 ddt_cross_check: bool = False,
+                 core: FunctionalCore | None = None) -> None:
         self.program = program
         self.config = config
         self.predictor = predictor
@@ -138,7 +140,23 @@ class PipelineEngine:
         self.recovery = (RecoveryManager()
                          if config.speculation == "wrongpath" else None)
 
-        self.core = FunctionalCore(program)
+        # The functional source is pluggable: a live interpreter by
+        # default, or any object exposing the same interface (``step``,
+        # ``halted``, ``instruction_count``, initial ``registers``) —
+        # notably ``pipeline.trace.TraceReplayCore``, which replays a
+        # recorded committed stream so one functional run can drive many
+        # timing configurations.
+        if core is None:
+            core = FunctionalCore(program)
+        elif core.program is not program:
+            raise ValueError(
+                "functional source was built for a different program")
+        if self.recovery is not None and getattr(core, "is_replay", False):
+            raise ValueError(
+                "trace replay cannot drive speculation='wrongpath': "
+                "wrong-path synthesis reads live architectural state; "
+                "use a live FunctionalCore")
+        self.core = core
         self.memory = MemoryHierarchy(config)
         self.units = FunctionalUnits(config)
         self.fetch_bw = BandwidthLimiter(config.fetch_width)
@@ -171,7 +189,7 @@ class PipelineEngine:
         self._preg_is_load = [False] * n_pregs
         self._preg_hoist_avail = [0] * n_pregs
 
-        self._retire_queue: deque[_RetireEntry] = deque()
+        self._retire_queue: deque[tuple] = deque()
         self._fetch_barrier = 0
         self._last_commit = 0
         self._last_fetch_line = -1
@@ -205,21 +223,345 @@ class PipelineEngine:
 
     # -- public API ---------------------------------------------------------------
 
-    def run(self, max_instructions: int = 10_000_000) -> SimulationResult:
-        """Simulate until HALT or the instruction budget; returns stats."""
-        core = self.core
+    def _live_stream(self, core, max_instructions: int):
+        """Drive a live functional source one ``step()`` at a time."""
         step = core.step
-        process = self._process
         while not core.halted and core.instruction_count < max_instructions:
             dyn = step()
             if dyn is None:
-                break
-            process(dyn)
+                return
+            yield dyn
+
+    def run(self, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+            ) -> SimulationResult:
+        """Simulate until HALT or the instruction budget; returns stats.
+
+        The per-instruction pipeline stages (the former ``_process`` /
+        ``_execute`` pair) are fused into one loop body working on local
+        aliases of every hot structure — attribute traffic and per-stage
+        call overhead dominate the pure-Python cycle model, so the fetch
+        and commit bandwidth cursors, the ROB/LSQ occupancy windows and
+        the single-cycle functional-unit pools are inlined here and their
+        objects resynchronized when the loop exits.  The arithmetic is
+        unchanged stage for stage; results are bit-for-bit identical to
+        the unfused engine (frozen redirect goldens + equality tests).
+        """
+        core = self.core
+        take = getattr(core, "take_stream", None)
+        stream = take(max_instructions) if take is not None else None
+        if stream is None:
+            stream = self._live_stream(core, max_instructions)
+
+        # ---- hot locals ---------------------------------------------------
+        decoded = self._decoded
+        warmup = self.warmup_instructions
+        line_mask = self._line_mask
+        rename_offset = self._rename_offset
+        frontend_depth = self._frontend_depth
+        icache_hit_latency = self._icache_hit_latency
+        alu_latency = self._alu_latency
+        mult_latency = self._mult_latency
+        div_latency = self._div_latency
+        memory = self.memory
+        mem_ilat = memory.instruction_latency
+        mem_dlat = memory.data_latency
+        rename = self.rename
+        rename_map = rename._map
+        rename_free = rename._free
+        rename_owner = rename._owner
+        ddt_allocate = self.ddt.allocate
+        chains_info = self.chains._info
+        shadow_record = self.shadow_map.record
+        preg_ready = self._preg_ready
+        preg_value = self._preg_value
+        preg_pending = self._preg_pending
+        preg_is_load = self._preg_is_load
+        preg_hoist = self._preg_hoist_avail
+        pending_stores = self._pending_stores
+        retire_queue = self._retire_queue
+        retire_append = retire_queue.append
+        retire_until = self._retire_until
+        predict_branch = self._predict_branch
+        resolve_branch = self._resolve_branch
+        hoist_available = self._hoist_available
+        ras_push = self.ras.push
+        ras_pop = self.ras.pop
         result = self.result
+        observers = self.observers
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        sync_spec = self.recovery is not None
+
+        rob = self.rob
+        lsq = self.lsq
+        rob_commits = rob._commits
+        rob_capacity = rob.capacity
+        rob_popleft = rob_commits.popleft
+        rob_append = rob_commits.append
+        lsq_commits = lsq._commits
+        lsq_capacity = lsq.capacity
+        lsq_popleft = lsq_commits.popleft
+        lsq_append = lsq_commits.append
+        rob_allocs = rob_stalls = lsq_allocs = lsq_stalls = 0
+
+        fetch_bw = self.fetch_bw
+        commit_bw = self.commit_bw
+        fetch_width = fetch_bw.width
+        fetch_cycle = fetch_bw._cycle
+        fetch_used = fetch_bw._used
+        commit_width = commit_bw.width
+        commit_cycle = commit_bw._cycle
+        commit_used = commit_bw._used
+
+        alu_pool = self.units.int_alu
+        alu_free = alu_pool._free_at
+        alu_ops = 0
+        dcache_pool = self.units.dcache_port
+        dcache_free = dcache_pool._free_at
+        dcache_ops = 0
+        muldiv_issue = self.units.int_muldiv.issue
+
+        fetch_barrier = self._fetch_barrier
+        last_fetch_line = self._last_fetch_line
+        last_commit = self._last_commit
+
+        try:
+            for dyn in stream:
+                seq = dyn.seq
+                measured = seq >= warmup
+                d: DecodedInst = decoded[dyn.pc]
+                is_load = d.is_load
+                is_store = d.is_store
+                is_cond_branch = d.is_cond_branch
+
+                # ---- fetch ---------------------------------------------------
+                earliest = fetch_barrier
+                if len(rob_commits) >= rob_capacity:
+                    free_at = rob_commits[0] + 1
+                    if free_at > earliest:
+                        rob_stalls += 1
+                        earliest = free_at
+                is_mem = is_load or is_store
+                if is_mem and len(lsq_commits) >= lsq_capacity:
+                    free_at = lsq_commits[0] + 1
+                    if free_at > earliest:
+                        lsq_stalls += 1
+                        earliest = free_at
+                byte_pc = d.byte_pc
+                line = byte_pc & line_mask
+                if line != last_fetch_line:
+                    last_fetch_line = line
+                    extra = mem_ilat(byte_pc) - icache_hit_latency
+                    if extra > 0:
+                        earliest += extra
+                if earliest > fetch_cycle:
+                    fetch_cycle = earliest
+                    fetch_used = 0
+                if fetch_used >= fetch_width:
+                    fetch_cycle += 1
+                    fetch_used = 0
+                fetch_used += 1
+                fetch = fetch_cycle
+
+                # ---- rename (early, one cycle after fetch) -------------------
+                rename_cycle = fetch + rename_offset
+                if retire_queue and retire_queue[0][3] <= rename_cycle:
+                    retire_until(rename_cycle)
+
+                sources = d.sources
+                n_sources = len(sources)
+                if n_sources == 2:
+                    src_pregs = (rename_map[sources[0]],
+                                 rename_map[sources[1]])
+                elif n_sources == 1:
+                    src_pregs = (rename_map[sources[0]],)
+                elif n_sources == 0:
+                    src_pregs = ()
+                else:  # pragma: no cover - no opcode has >2 sources
+                    src_pregs = rename.lookup_many(sources)
+
+                # Branch prediction reads the DDT *before* the branch is
+                # inserted.
+                decision = None
+                if is_cond_branch:
+                    decision = predict_branch(dyn, src_pregs, fetch)
+
+                dest_preg = None
+                displaced = None
+                if d.needs_dest:
+                    if not rename_free:
+                        rename.rename_dest(d.rd)  # raises RenameError
+                    rd = d.rd
+                    dest_preg = rename_free.popleft()
+                    displaced = rename_map[rd]
+                    rename_map[rd] = dest_preg
+                    rename_owner[dest_preg] = rd
+                    shadow_record(dest_preg, rd)
+
+                token = ddt_allocate(dest_preg, src_pregs)
+                chains_info[token] = (dest_preg, src_pregs, is_load)
+
+                # ---- issue / execute -----------------------------------------
+                ready = dispatch = fetch + frontend_depth
+                for preg in src_pregs:
+                    when = preg_ready[preg]
+                    if when > ready:
+                        ready = when
+                fu = d.fu_class
+                if fu == FU_ALU:
+                    # Register/immediate ALU ops and conditional branches.
+                    server_free = heappop(alu_free)
+                    issue = ready if ready >= server_free else server_free
+                    heappush(alu_free, issue + 1)
+                    alu_ops += 1
+                    complete = issue + alu_latency
+                elif fu == FU_LOAD:
+                    # Address generation on an ALU, then the D-cache access.
+                    server_free = heappop(alu_free)
+                    issue = ready if ready >= server_free else server_free
+                    heappush(alu_free, issue + 1)
+                    alu_ops += 1
+                    agen1 = issue + 1
+                    server_free = heappop(dcache_free)
+                    access = agen1 if agen1 >= server_free else server_free
+                    heappush(dcache_free, access + 1)
+                    dcache_ops += 1
+                    addr = dyn.addr
+                    word = addr & ~3 if addr is not None else 0
+                    pending = pending_stores.get(word)
+                    if pending is not None and pending[1] > access:
+                        # Forward from the in-flight store once its data
+                        # is ready.
+                        data_ready = pending[0]
+                        complete = (access if access >= data_ready
+                                    else data_ready) + 1
+                    else:
+                        complete = access + mem_dlat(addr or 0)
+                elif fu == FU_STORE:
+                    # Address + data staged into the LSQ; memory written
+                    # at commit.
+                    server_free = heappop(alu_free)
+                    issue = ready if ready >= server_free else server_free
+                    heappush(alu_free, issue + 1)
+                    alu_ops += 1
+                    complete = issue + 1
+                elif fu == FU_MULT:
+                    issue = muldiv_issue(ready)
+                    complete = issue + mult_latency
+                elif fu == FU_DIV:
+                    issue = muldiv_issue(ready, div_latency)
+                    complete = issue + div_latency
+                else:
+                    # Jumps, NOP, HALT: resolved in the frontend/ALU in
+                    # one cycle.
+                    server_free = heappop(alu_free)
+                    issue = ready if ready >= server_free else server_free
+                    heappush(alu_free, issue + 1)
+                    alu_ops += 1
+                    complete = issue + 1
+
+                # ---- commit --------------------------------------------------
+                commit_req = complete + 1
+                if commit_req < last_commit:
+                    commit_req = last_commit
+                if commit_req > commit_cycle:
+                    commit_cycle = commit_req
+                    commit_used = 0
+                if commit_used >= commit_width:
+                    commit_cycle += 1
+                    commit_used = 0
+                commit_used += 1
+                commit = commit_cycle
+                last_commit = commit
+                if len(rob_commits) >= rob_capacity:
+                    rob_popleft()
+                rob_append(commit)
+                rob_allocs += 1
+                if is_mem:
+                    if len(lsq_commits) >= lsq_capacity:
+                        lsq_popleft()
+                    lsq_append(commit)
+                    lsq_allocs += 1
+
+                # ---- writeback bookkeeping -----------------------------------
+                res = dyn.result
+                value = res if res is not None else 0
+                if dest_preg is not None:
+                    preg_ready[dest_preg] = complete
+                    preg_value[dest_preg] = value
+                    preg_pending[dest_preg] = True
+                    preg_is_load[dest_preg] = is_load
+                    if is_load:
+                        preg_hoist[dest_preg] = hoist_available(
+                            dyn, src_pregs, complete, issue)
+                if is_store and dyn.addr is not None:
+                    pending_stores[dyn.addr & ~3] = (complete, commit)
+
+                retire_append((token, dest_preg, value, commit, displaced))
+
+                # ---- control flow resolution ---------------------------------
+                mispredicted = False
+                if is_cond_branch:
+                    if sync_spec:
+                        # A mispredict may run a wrong-path episode whose
+                        # squash restores engine state: publish the fetch
+                        # line, then re-read it (and the rename map the
+                        # restore rebuilds) afterwards.
+                        self._last_fetch_line = last_fetch_line
+                    mispredicted = resolve_branch(
+                        dyn, decision, fetch, complete, measured, token)
+                    fetch_barrier = self._fetch_barrier
+                    if sync_spec:
+                        last_fetch_line = self._last_fetch_line
+                        rename_map = rename._map
+                elif dyn.op == _OP_JAL:
+                    ras_push(dyn.pc + 1)
+                elif dyn.op == _OP_JR:
+                    ras_pop(dyn.next_pc)
+                # J/JAL targets are decoded in the frontend; JR is modelled
+                # via a perfect RAS (its real accuracy is in the stats).
+
+                # ---- statistics ----------------------------------------------
+                if seq == warmup:
+                    self._measured_start_cycle = commit
+                if measured:
+                    if is_load:
+                        result.loads += 1
+                    elif is_store:
+                        result.stores += 1
+
+                if observers:
+                    record = TimingRecord(
+                        seq=seq, pc=dyn.pc, op=dyn.op, fetch=fetch,
+                        dispatch=dispatch, issue=issue, complete=complete,
+                        commit=commit,
+                        chain_length=self.ddt.chain_length(*src_pregs),
+                        is_load=is_load, is_branch=is_cond_branch,
+                        mispredicted=mispredicted)
+                    for observer in observers:
+                        observer(record, dyn)
+        finally:
+            # ---- resynchronize the inlined structures ------------------------
+            self._fetch_barrier = fetch_barrier
+            self._last_fetch_line = last_fetch_line
+            self._last_commit = last_commit
+            fetch_bw._cycle = fetch_cycle
+            fetch_bw._used = fetch_used
+            commit_bw._cycle = commit_cycle
+            commit_bw._used = commit_used
+            rob.allocations += rob_allocs
+            rob.full_stalls += rob_stalls
+            lsq.allocations += lsq_allocs
+            lsq.full_stalls += lsq_stalls
+            alu_pool.operations += alu_ops
+            alu_pool.busy_cycles += alu_ops
+            dcache_pool.operations += dcache_ops
+            dcache_pool.busy_cycles += dcache_ops
+
         result.total_instructions = self.core.instruction_count
         result.total_cycles = self._last_commit
-        measured = self.core.instruction_count - self.warmup_instructions
-        result.instructions = max(measured, 0)
+        measured_count = self.core.instruction_count - self.warmup_instructions
+        result.instructions = max(measured_count, 0)
         result.cycles = max(self._last_commit - self._measured_start_cycle, 0)
         result.memory = self.memory.stats()
         result.ras_accuracy = self.ras.accuracy
@@ -234,163 +576,6 @@ class PipelineEngine:
             result.arvi_lookups = arvi.bvit.stats.lookups
             result.arvi_bvit_hits = arvi.bvit.stats.hits
         return result
-
-    # -- per-instruction processing --------------------------------------------------
-
-    def _process(self, dyn: DynInst) -> None:
-        seq = dyn.seq
-        measured = seq >= self.warmup_instructions
-        d: DecodedInst = self._decoded[dyn.pc]
-        is_load = d.is_load
-        is_store = d.is_store
-        is_cond_branch = d.is_cond_branch
-
-        # ---- fetch -------------------------------------------------------
-        earliest = self.rob.earliest_allocation(self._fetch_barrier)
-        is_mem = is_load or is_store
-        if is_mem:
-            earliest = self.lsq.earliest_allocation(earliest)
-        byte_pc = d.byte_pc
-        line = byte_pc & self._line_mask
-        if line != self._last_fetch_line:
-            self._last_fetch_line = line
-            latency = self.memory.instruction_latency(byte_pc)
-            extra = latency - self._icache_hit_latency
-            if extra > 0:
-                earliest += extra
-        fetch = self.fetch_bw.schedule(earliest)
-
-        # ---- rename (early, one cycle after fetch) -------------------------
-        rename_cycle = fetch + self._rename_offset
-        queue = self._retire_queue
-        if queue and queue[0].commit <= rename_cycle:
-            self._retire_until(rename_cycle)
-
-        src_pregs = self.rename.lookup_many(d.sources)
-
-        # Branch prediction reads the DDT *before* the branch is inserted.
-        decision = None
-        if is_cond_branch:
-            decision = self._predict_branch(dyn, src_pregs, fetch)
-
-        dest_preg: int | None = None
-        displaced: int | None = None
-        if d.needs_dest:
-            dest_preg, displaced = self.rename.rename_dest(d.rd)
-            self.shadow_map.record(dest_preg, d.rd)
-
-        token = self.ddt.allocate(dest_preg, src_pregs)
-        self.chains.insert(token, dest_preg, src_pregs, is_load=is_load)
-
-        # ---- issue / execute ------------------------------------------------
-        dispatch = fetch + self._frontend_depth
-        ready = dispatch
-        preg_ready = self._preg_ready
-        for preg in src_pregs:
-            when = preg_ready[preg]
-            if when > ready:
-                ready = when
-        issue, complete = self._execute(dyn, d, ready)
-
-        # ---- commit ----------------------------------------------------------
-        commit_req = complete + 1
-        if commit_req < self._last_commit:
-            commit_req = self._last_commit
-        commit = self.commit_bw.schedule(commit_req)
-        self._last_commit = commit
-        self.rob.allocate(commit)
-        if is_mem:
-            self.lsq.allocate(commit)
-
-        # ---- writeback bookkeeping -------------------------------------------
-        result = dyn.result
-        value = result if result is not None else 0
-        if dest_preg is not None:
-            preg_ready[dest_preg] = complete
-            self._preg_value[dest_preg] = value
-            self._preg_pending[dest_preg] = True
-            self._preg_is_load[dest_preg] = is_load
-            if is_load:
-                self._preg_hoist_avail[dest_preg] = self._hoist_available(
-                    dyn, src_pregs, complete, issue)
-        if is_store and dyn.addr is not None:
-            word = dyn.addr & ~3
-            self._pending_stores[word] = (complete, commit)
-
-        queue.append(_RetireEntry(
-            token=token, dest_preg=dest_preg, value=value,
-            commit=commit, displaced=displaced))
-
-        # ---- control flow resolution ------------------------------------------
-        mispredicted = False
-        if is_cond_branch:
-            mispredicted = self._resolve_branch(
-                dyn, decision, fetch, complete, measured, token)
-        elif dyn.op == _OP_JAL:
-            self.ras.push(dyn.pc + 1)
-        elif dyn.op == _OP_JR:
-            self.ras.pop(dyn.next_pc)
-        # J/JAL targets are decoded in the frontend; JR is modelled via a
-        # perfect RAS (its real accuracy is reported in the stats).
-
-        # ---- statistics ---------------------------------------------------------
-        if seq == self.warmup_instructions:
-            self._measured_start_cycle = commit
-        if measured:
-            if is_load:
-                self.result.loads += 1
-            elif is_store:
-                self.result.stores += 1
-
-        if self.observers:
-            record = TimingRecord(
-                seq=seq, pc=dyn.pc, op=dyn.op, fetch=fetch,
-                dispatch=dispatch, issue=issue, complete=complete,
-                commit=commit,
-                chain_length=self.ddt.chain_length(*src_pregs),
-                is_load=is_load, is_branch=is_cond_branch,
-                mispredicted=mispredicted)
-            for observer in self.observers:
-                observer(record, dyn)
-
-    # -- execution timing --------------------------------------------------------
-
-    def _execute(self, dyn: DynInst, d: DecodedInst,
-                 ready: int) -> tuple[int, int]:
-        """Claim functional units; returns (issue, complete) cycles."""
-        fu = d.fu_class
-        units = self.units
-        if fu == FU_ALU:
-            # Register/immediate ALU ops and conditional branches.
-            issue = units.int_alu.issue(ready)
-            return issue, issue + self._alu_latency
-        if fu == FU_LOAD:
-            # Address generation on an ALU, then the D-cache access.
-            agen = units.int_alu.issue(ready)
-            access = units.dcache_port.issue(agen + 1)
-            word = dyn.addr & ~3 if dyn.addr is not None else 0
-            pending = self._pending_stores.get(word)
-            if pending is not None and pending[1] > access:
-                # Forward from the in-flight store once its data is ready.
-                data_ready, _commit = pending
-                complete = max(access, data_ready) + 1
-            else:
-                complete = access + self.memory.data_latency(dyn.addr or 0)
-            return agen, complete
-        if fu == FU_STORE:
-            # Address + data staged into the LSQ; memory written at commit.
-            issue = units.int_alu.issue(ready)
-            return issue, issue + 1
-        if fu == FU_MULT:
-            issue = units.int_muldiv.issue(ready)
-            return issue, issue + self._mult_latency
-        if fu == FU_DIV:
-            latency = self._div_latency
-            issue = units.int_muldiv.issue(ready, latency)
-            return issue, issue + latency
-        # Jumps, NOP, HALT: resolved in the frontend/ALU in one cycle.
-        issue = units.int_alu.issue(ready)
-        return issue, issue + 1
 
     def _hoist_available(self, dyn: DynInst, src_pregs: tuple[int, ...],
                          complete: int, issue: int) -> int:
@@ -602,16 +787,15 @@ class PipelineEngine:
         preg_pending = self._preg_pending
         release = self.rename.release
         popleft = queue.popleft
-        while queue and queue[0].commit <= cycle:
-            entry = popleft()
+        while queue and queue[0][_RETIRE_COMMIT] <= cycle:
+            token, dest, value, _commit, displaced = popleft()
             commit_oldest()
-            discard(entry.token)
-            dest = entry.dest_preg
+            discard(token)
             if dest is not None:
-                shadow_write(dest, entry.value)
+                shadow_write(dest, value)
                 preg_pending[dest] = False
-            if entry.displaced is not None:
-                release(entry.displaced)
+            if displaced is not None:
+                release(displaced)
 
 
 # -- convenience constructors ------------------------------------------------------
@@ -638,14 +822,15 @@ def simulate(program: Program, config: MachineConfig,
              kind: LevelTwoKind = LevelTwoKind.HYBRID,
              *, value_mode: ValueMode = ValueMode.CURRENT,
              warmup_instructions: int = 0,
-             max_instructions: int = 10_000_000,
+             max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
              arvi_config: ARVIConfig | None = None,
              observers: list[Observer] | None = None,
-             ddt_cross_check: bool = False) -> SimulationResult:
+             ddt_cross_check: bool = False,
+             core: FunctionalCore | None = None) -> SimulationResult:
     """One-call simulation helper used by examples and experiments."""
     predictor = build_predictor(kind, config, arvi_config)
     engine = PipelineEngine(
         program, config, predictor, value_mode=value_mode,
         warmup_instructions=warmup_instructions, observers=observers,
-        ddt_cross_check=ddt_cross_check)
+        ddt_cross_check=ddt_cross_check, core=core)
     return engine.run(max_instructions)

@@ -31,6 +31,11 @@ from repro.isa.program import DATA_BASE, STACK_TOP, Program
 _WM = 0xFFFFFFFF
 _SIGN = 0x80000000
 
+#: Shared instruction budget default for functional runs, engine runs and
+#: trace recordings.  A trace recorded under this budget can replay any
+#: engine run with the same (or smaller) budget bit-for-bit.
+DEFAULT_MAX_INSTRUCTIONS = 10_000_000
+
 
 class ExecutionError(RuntimeError):
     """Raised on architectural faults (bad address, unaligned access...)."""
@@ -397,7 +402,7 @@ class FunctionalCore:
         self.pc = dyn.next_pc
         return dyn
 
-    def run(self, max_instructions: int = 10_000_000):
+    def run(self, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS):
         """Yield dynamic instructions until HALT or the budget is reached."""
         while not self.halted and self.instruction_count < max_instructions:
             dyn = self.step()
@@ -405,7 +410,8 @@ class FunctionalCore:
                 break
             yield dyn
 
-    def run_to_completion(self, max_instructions: int = 10_000_000) -> int:
+    def run_to_completion(
+            self, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> int:
         """Execute without yielding; returns the instruction count."""
         for _ in self.run(max_instructions):
             pass

@@ -1,0 +1,418 @@
+"""Trace-record/replay for the committed instruction stream.
+
+In ``redirect`` mode the functional path is configuration-independent:
+every timing point of a (benchmark, scale, seed) sweeps the *same*
+committed :class:`~repro.pipeline.functional.DynInst` stream through a
+different machine.  Re-interpreting the program per point is pure waste,
+so this module records the stream once and replays it everywhere:
+
+* :class:`TraceRecorder` runs the functional core once and captures the
+  committed stream into a :class:`CommittedTrace` — a compact *columnar*
+  form (parallel arrays of decoded PC indices, results, bit-packed branch
+  outcomes, load/store effective addresses and store values), not a list
+  of per-instruction objects;
+* :class:`TraceReplayCore` exposes the ``FunctionalCore`` interface the
+  engine consumes (``step`` / ``halted`` / ``instruction_count`` /
+  initial ``registers``), reconstructing the stream from the columns, so
+  :class:`~repro.pipeline.engine.PipelineEngine` is source-agnostic;
+* :meth:`CommittedTrace.to_bytes` / :meth:`CommittedTrace.from_bytes`
+  give the on-disk form used by the experiment-service trace store
+  (``repro.experiments.tracing``).
+
+Invariants (DESIGN.md §8):
+
+* **Bit-for-bit replay** — a replayed run's ``SimulationResult`` equals
+  the live-core run exactly.  Every ``DynInst`` field the timing engine
+  reads is reproduced: ``seq``/``pc``/``op`` and the category flags,
+  ``result``, ``taken``, ``next_pc``, ``addr``, ``store_value``.  Column
+  *presence* is a pure opcode property (``DecodedInst.has_result``,
+  ``is_load``/``is_store``/``is_cond_branch``), so no per-instruction
+  presence flags are stored; ``next_pc`` is the following instruction's
+  PC (the stream is the committed architectural order), stored explicitly
+  only for the final instruction.
+* **Operand values are not recorded** — replayed ``DynInst``\\ s carry
+  ``sval1 == sval2 == 0``.  The engine never reads them; observers that
+  need operand values must drive the engine from a live core.
+* **Redirect only** — wrong-path synthesis reads live architectural
+  state (registers/memory at the mispredicted branch), which a trace
+  does not carry.  The engine rejects a replay core in ``wrongpath``
+  mode.
+* A trace is valid for budgets up to its recorded ``max_instructions``;
+  asking a replay core to step past a budget-truncated recording raises
+  :class:`TraceError` rather than silently diverging.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from array import array
+
+from repro.isa import regs
+from repro.isa.program import DATA_BASE, STACK_TOP, Program
+from repro.pipeline.functional import (
+    DEFAULT_MAX_INSTRUCTIONS,
+    DynInst,
+    FunctionalCore,
+)
+
+#: Version of the serialized trace layout; mismatches are load errors
+#: (the trace store treats them as misses and re-records).
+TRACE_FORMAT_VERSION = 1
+
+_MAGIC = b"REPROTRC"
+
+#: 4-byte unsigned array typecode ('L' is 8 bytes on LP64 platforms).
+_U32 = "I" if array("I").itemsize == 4 else "L"
+
+
+class TraceError(RuntimeError):
+    """A trace is malformed, mismatched with its program, or exhausted."""
+
+
+class CommittedTrace:
+    """Columnar recording of one committed instruction stream.
+
+    Parallel columns (see module docstring for the presence rules):
+
+    * ``pcs`` — one entry per committed instruction (decoded PC index);
+    * ``results`` — one entry per result-producing instruction;
+    * ``taken_bits`` — one bit per conditional branch, LSB-first;
+    * ``addrs`` — one entry per load or store (effective address);
+    * ``store_values`` — one entry per store.
+    """
+
+    __slots__ = (
+        "program_name", "static_length", "entry", "length", "pcs",
+        "results", "taken_bits", "branch_count", "addrs", "store_values",
+        "final_next_pc", "halted", "max_instructions",
+        "_dyn_cache", "_dyn_program",
+    )
+
+    def __init__(self, *, program_name: str, static_length: int, entry: int,
+                 pcs: array, results: array, taken_bits: bytes,
+                 branch_count: int, addrs: array, store_values: array,
+                 final_next_pc: int, halted: bool,
+                 max_instructions: int) -> None:
+        self.program_name = program_name
+        self.static_length = static_length
+        self.entry = entry
+        self.length = len(pcs)
+        self.pcs = pcs
+        self.results = results
+        self.taken_bits = taken_bits
+        self.branch_count = branch_count
+        self.addrs = addrs
+        self.store_values = store_values
+        self.final_next_pc = final_next_pc
+        self.halted = halted
+        self.max_instructions = max_instructions
+        # Materialized DynInst stream, built lazily per program object and
+        # shared by every replay of this trace (the engine never mutates
+        # a DynInst, so one stream drives any number of timing configs).
+        self._dyn_cache: list[DynInst] | None = None
+        self._dyn_program: Program | None = None
+
+    # -- validation ----------------------------------------------------------
+
+    def validate_for(self, program: Program) -> None:
+        """Check this trace was recorded from (an equal build of) ``program``."""
+        if (self.program_name != program.name
+                or self.static_length != len(program.instructions)
+                or self.entry != program.entry):
+            raise TraceError(
+                f"trace of {self.program_name!r} "
+                f"({self.static_length} instructions, entry "
+                f"{self.entry}) does not match program {program.name!r} "
+                f"({len(program.instructions)} instructions, entry "
+                f"{program.entry})")
+
+    # -- replay materialization ----------------------------------------------
+
+    def materialize(self, program: Program) -> list[DynInst]:
+        """Reconstruct (and cache) the DynInst stream for ``program``.
+
+        The list is built once per (trace, program) pair; replaying the
+        same trace across a batch of timing configurations reuses the
+        same read-only DynInst objects, so only the first replay pays the
+        reconstruction cost.
+        """
+        if self._dyn_cache is not None and self._dyn_program is program:
+            return self._dyn_cache
+        self.validate_for(program)
+        decoded = program.decoded().insts
+        pcs = self.pcs
+        results = self.results
+        taken_bits = self.taken_bits
+        addrs = self.addrs
+        store_values = self.store_values
+        n = self.length
+        dyns: list[DynInst] = []
+        append = dyns.append
+        ri = bi = mi = si = 0
+        try:
+            for i in range(n):
+                pc = pcs[i]
+                d = decoded[pc]
+                dyn = DynInst(i, pc, d.inst)
+                if d.has_result:
+                    dyn.result = results[ri]
+                    ri += 1
+                if d.is_cond_branch:
+                    dyn.taken = bool((taken_bits[bi >> 3] >> (bi & 7)) & 1)
+                    bi += 1
+                elif d.is_load:
+                    dyn.addr = addrs[mi]
+                    mi += 1
+                elif d.is_store:
+                    dyn.addr = addrs[mi]
+                    mi += 1
+                    dyn.store_value = store_values[si]
+                    si += 1
+                dyn.next_pc = pcs[i + 1] if i + 1 < n else self.final_next_pc
+                append(dyn)
+        except IndexError as exc:
+            raise TraceError(
+                f"trace of {self.program_name!r} is internally "
+                f"inconsistent (column exhausted at instruction {i})"
+            ) from exc
+        if (ri != len(results) or bi != self.branch_count
+                or mi != len(addrs) or si != len(store_values)):
+            raise TraceError(
+                f"trace of {self.program_name!r} is internally "
+                "inconsistent (column lengths do not match the stream)")
+        self._dyn_cache = dyns
+        self._dyn_program = program
+        return dyns
+
+    # -- serialization -------------------------------------------------------
+    #
+    # Layout: 8-byte magic, little-endian u32 header length, JSON header,
+    # then the raw column bytes in fixed order (pcs, results, taken_bits,
+    # addrs, store_values).  Arrays are written in native byte order with
+    # the order recorded in the header; a cross-endian load byteswaps.
+
+    def to_bytes(self) -> bytes:
+        header = {
+            "format": TRACE_FORMAT_VERSION,
+            "program": self.program_name,
+            "static_length": self.static_length,
+            "entry": self.entry,
+            "length": self.length,
+            "results": len(self.results),
+            "branches": self.branch_count,
+            "mem_ops": len(self.addrs),
+            "stores": len(self.store_values),
+            "final_next_pc": self.final_next_pc,
+            "halted": self.halted,
+            "max_instructions": self.max_instructions,
+            "byteorder": sys.byteorder,
+            "itemsize": array(_U32).itemsize,
+        }
+        blob = json.dumps(header, sort_keys=True,
+                          separators=(",", ":")).encode()
+        out = bytearray(_MAGIC)
+        out += struct.pack("<I", len(blob))
+        out += blob
+        out += self.pcs.tobytes()
+        out += self.results.tobytes()
+        out += self.taken_bits
+        out += self.addrs.tobytes()
+        out += self.store_values.tobytes()
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CommittedTrace":
+        """Parse a serialized trace; any malformed input is a TraceError."""
+        try:
+            if data[:8] != _MAGIC:
+                raise TraceError("bad trace magic")
+            (header_len,) = struct.unpack_from("<I", data, 8)
+            header = json.loads(data[12:12 + header_len].decode())
+            if header["format"] != TRACE_FORMAT_VERSION:
+                raise TraceError(
+                    f"trace format {header['format']} != "
+                    f"{TRACE_FORMAT_VERSION}")
+            itemsize = array(_U32).itemsize
+            if header["itemsize"] != itemsize:
+                raise TraceError("trace recorded with a different word size")
+            length = header["length"]
+            n_results = header["results"]
+            n_branches = header["branches"]
+            n_mem = header["mem_ops"]
+            n_stores = header["stores"]
+            n_taken_bytes = (n_branches + 7) // 8
+            offset = 12 + header_len
+            expected = (offset + (length + n_results + n_mem + n_stores)
+                        * itemsize + n_taken_bytes)
+            if len(data) != expected:
+                raise TraceError(
+                    f"trace payload is {len(data)} bytes, expected "
+                    f"{expected}")
+
+            def take_array(count: int) -> array:
+                nonlocal offset
+                column = array(_U32)
+                column.frombytes(data[offset:offset + count * itemsize])
+                offset += count * itemsize
+                if header["byteorder"] != sys.byteorder:
+                    column.byteswap()
+                return column
+
+            pcs = take_array(length)
+            results = take_array(n_results)
+            taken_bits = bytes(data[offset:offset + n_taken_bytes])
+            offset += n_taken_bytes
+            addrs = take_array(n_mem)
+            store_values = take_array(n_stores)
+            return cls(
+                program_name=header["program"],
+                static_length=header["static_length"],
+                entry=header["entry"],
+                pcs=pcs, results=results, taken_bits=taken_bits,
+                branch_count=n_branches, addrs=addrs,
+                store_values=store_values,
+                final_next_pc=header["final_next_pc"],
+                halted=bool(header["halted"]),
+                max_instructions=header["max_instructions"],
+            )
+        except TraceError:
+            raise
+        except Exception as exc:  # truncated/garbage input of any shape
+            raise TraceError(f"malformed trace: {exc}") from exc
+
+
+class TraceRecorder:
+    """Runs the functional core once, capturing the committed stream."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.core = FunctionalCore(program)
+
+    def record(self, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+               ) -> CommittedTrace:
+        """Execute to HALT (or the budget) and return the columnar trace."""
+        core = self.core
+        if core.instruction_count:
+            raise TraceError("TraceRecorder instances are single-use")
+        pcs = array(_U32)
+        results = array(_U32)
+        addrs = array(_U32)
+        store_values = array(_U32)
+        taken_bits = bytearray()
+        branch_count = 0
+        final_next_pc = self.program.entry
+        pcs_append = pcs.append
+        results_append = results.append
+        addrs_append = addrs.append
+        for dyn in core.run(max_instructions):
+            pcs_append(dyn.pc)
+            result = dyn.result
+            if result is not None:
+                results_append(result)
+            taken = dyn.taken
+            if taken is not None:
+                if branch_count & 7 == 0:
+                    taken_bits.append(0)
+                if taken:
+                    taken_bits[branch_count >> 3] |= 1 << (branch_count & 7)
+                branch_count += 1
+            addr = dyn.addr
+            if addr is not None:
+                addrs_append(addr)
+                value = dyn.store_value
+                if value is not None:
+                    store_values.append(value)
+            final_next_pc = dyn.next_pc
+        return CommittedTrace(
+            program_name=self.program.name,
+            static_length=len(self.program.instructions),
+            entry=self.program.entry,
+            pcs=pcs, results=results, taken_bits=bytes(taken_bits),
+            branch_count=branch_count, addrs=addrs,
+            store_values=store_values, final_next_pc=final_next_pc,
+            halted=core.halted, max_instructions=max_instructions,
+        )
+
+
+def record_trace(program: Program,
+                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                 ) -> CommittedTrace:
+    """One-call convenience: record ``program``'s committed stream."""
+    return TraceRecorder(program).record(max_instructions)
+
+
+class TraceReplayCore:
+    """Replays a :class:`CommittedTrace` through the FunctionalCore interface.
+
+    Exposes exactly what the timing engine consumes: ``step()`` yielding
+    the committed DynInst stream, ``halted`` / ``instruction_count`` with
+    live-core transition semantics, and the initial architectural
+    ``registers``.  It carries no memory image — the engine rejects it in
+    ``wrongpath`` mode, which needs live state for wrong-path synthesis.
+    """
+
+    is_replay = True
+
+    def __init__(self, program: Program, trace: CommittedTrace) -> None:
+        trace.validate_for(program)
+        self.program = program
+        self.trace = trace
+        self.registers = [0] * 32
+        self.registers[regs.sp] = STACK_TOP
+        self.registers[regs.gp] = DATA_BASE
+        self.pc = program.entry
+        self.halted = False
+        self.instruction_count = 0
+        self._dyns = trace.materialize(program)
+        self._length = trace.length
+        self._halted_at_end = trace.halted
+
+    def take_stream(self, max_instructions: int) -> list[DynInst] | None:
+        """Hand the whole materialized stream to the engine at once.
+
+        When this fresh core can satisfy the engine's full run — the
+        recorded program halted within both the recording budget and the
+        engine's — the engine iterates the DynInst list directly instead
+        of calling :meth:`step` per instruction, and the core jumps to
+        its final state here.  Returns None when wholesale consumption is
+        not possible (partially stepped core, or a budget that would
+        truncate the run), in which case the engine falls back to
+        ``step()``.
+        """
+        if (self.instruction_count == 0 and self._halted_at_end
+                and self._length <= max_instructions):
+            self.instruction_count = self._length
+            self.halted = True
+            self.pc = self.trace.final_next_pc
+            return self._dyns
+        return None
+
+    def step(self) -> DynInst | None:
+        """Replay one instruction; returns None once halted."""
+        if self.halted:
+            return None
+        i = self.instruction_count
+        if i >= self._length:
+            raise TraceError(
+                f"trace of {self.trace.program_name!r} exhausted at "
+                f"instruction {i}: it was truncated at max_instructions="
+                f"{self.trace.max_instructions}; use a live FunctionalCore "
+                "or record a longer trace")
+        dyn = self._dyns[i]
+        i += 1
+        self.instruction_count = i
+        self.pc = dyn.next_pc
+        if i == self._length and self._halted_at_end:
+            self.halted = True
+        return dyn
+
+    def run(self, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS):
+        """Yield replayed instructions until HALT or the budget (parity
+        with :meth:`FunctionalCore.run`)."""
+        while not self.halted and self.instruction_count < max_instructions:
+            dyn = self.step()
+            if dyn is None:
+                break
+            yield dyn

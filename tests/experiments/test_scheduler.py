@@ -124,6 +124,28 @@ class TestSchedulerBehaviour:
                   cache=ResultCache(tmp_path), progress=events.append)
         assert [e.source for e in events] == ["cache"]
 
+    def test_progress_ticks_per_point_in_batched_grids(self):
+        """The satellite fix: batched workers tick the callback once per
+        completed point (carrying their batch id), not once per batch —
+        large batched grids must not look stalled."""
+        plan = build_plan(("baseline", "current", "load back", "perfect"),
+                          (20, 40), ("li",), scale=0.01, warmup=50)
+        events = []
+        results = run_plan(plan, jobs=2, use_cache=False, batch=True,
+                           progress=events.append)
+        assert len(results) == len(plan)
+        assert len(events) == len(plan)          # one event per point
+        assert all(e.source == "worker" for e in events)
+        assert all(e.batch_id is not None for e in events)
+        assert len({e.batch_id for e in events}) >= 2  # several batches
+        # Monotone completion counter in emission order, ending complete.
+        assert [e.completed for e in events] == list(
+            range(1, len(plan) + 1))
+        assert all(e.total == len(plan) for e in events)
+        assert all(e.batch_size >= 1 for e in events)
+        # Every point is reported exactly once.
+        assert {e.point for e in events} == set(plan)
+
     def test_use_cache_false_recomputes(self, tmp_path):
         store = ResultCache(tmp_path)
         kw = dict(configurations=("baseline",), depths=(20,),

@@ -55,6 +55,27 @@ def test_decoded_matches_instructions_over_every_workload(workload):
 
 
 @pytest.mark.parametrize("workload", BENCHMARKS)
+def test_has_result_matches_executed_presence(workload):
+    """``has_result`` agrees with what the handlers actually produce.
+
+    The trace layer reconstructs result/addr/taken/store-value *presence*
+    purely from the decoded opcode, so the static flags must match the
+    dynamic behaviour on every executed instruction.
+    """
+    from repro.pipeline.functional import FunctionalCore
+
+    program = get_program(workload, scale=0.02)
+    decoded = program.decoded()
+    core = FunctionalCore(program)
+    for dyn in core.run(20_000):
+        d = decoded[dyn.pc]
+        assert (dyn.result is not None) == d.has_result, (workload, dyn)
+        assert (dyn.addr is not None) == (d.is_load or d.is_store)
+        assert (dyn.taken is not None) == d.is_cond_branch
+        assert (dyn.store_value is not None) == d.is_store
+
+
+@pytest.mark.parametrize("workload", BENCHMARKS)
 def test_decoded_flags_match_dyninst_flags(workload):
     """DynInst carries the same decode the engine reads from the table."""
     program = get_program(workload, scale=0.05)

@@ -1,0 +1,188 @@
+"""Trace-record/replay core (DESIGN.md §8).
+
+The hard invariant: a replayed committed stream drives the timing engine
+to a ``SimulationResult`` bit-for-bit equal (``==``) to the live
+functional core, across configurations and depths — and the serialized
+form round-trips losslessly.  Malformed traces are loud ``TraceError``\\ s
+(the store layer turns them into misses), never silent divergence.
+"""
+
+import pytest
+
+from repro.core.arvi import ValueMode
+from repro.pipeline.config import machine_for_depth
+from repro.pipeline.engine import PipelineEngine, build_predictor
+from repro.pipeline.functional import FunctionalCore
+from repro.pipeline.trace import (
+    CommittedTrace,
+    TraceError,
+    TraceRecorder,
+    TraceReplayCore,
+    record_trace,
+)
+from repro.predictors.twolevel import LevelTwoKind
+from repro.workloads.registry import get_program
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def program():
+    return get_program("m88ksim", scale=SCALE, seed=1)
+
+
+@pytest.fixture(scope="module")
+def trace(program):
+    return record_trace(program)
+
+
+def engine_result(program, *, core=None, kind=LevelTwoKind.HYBRID,
+                  mode=ValueMode.CURRENT, depth=20, warmup=500,
+                  speculation="redirect"):
+    config = machine_for_depth(depth, speculation=speculation)
+    predictor = build_predictor(kind, config)
+    engine = PipelineEngine(program, config, predictor, value_mode=mode,
+                            warmup_instructions=warmup, core=core)
+    return engine.run()
+
+
+class TestRecording:
+    def test_stream_fidelity_field_by_field(self, program, trace):
+        """Every engine-consumed DynInst field replays exactly (operand
+        values are deliberately not recorded and replay as zero)."""
+        live = FunctionalCore(program)
+        replay = TraceReplayCore(program, trace)
+        for expected in live.run():
+            actual = replay.step()
+            assert actual is not None
+            for field in ("seq", "pc", "op", "rd", "rs1", "rs2", "result",
+                          "taken", "next_pc", "addr", "store_value",
+                          "is_load", "is_store", "is_cond_branch"):
+                assert getattr(actual, field) == getattr(expected, field), (
+                    field, expected.seq)
+            assert actual.sval1 == 0 and actual.sval2 == 0
+        assert replay.step() is None
+        assert replay.halted == live.halted
+        assert replay.instruction_count == live.instruction_count
+
+    def test_recorder_is_single_use(self, program):
+        recorder = TraceRecorder(program)
+        recorder.record()
+        with pytest.raises(TraceError, match="single-use"):
+            recorder.record()
+
+    def test_budget_truncated_recording(self, program):
+        short = record_trace(program, max_instructions=100)
+        assert short.length == 100
+        assert not short.halted
+
+    def test_columns_are_compact(self, program, trace):
+        # Sparse columns: only branches/memory ops/stores consume entries.
+        assert trace.branch_count < trace.length
+        assert len(trace.addrs) < trace.length
+        assert len(trace.store_values) <= len(trace.addrs)
+        assert len(trace.taken_bits) == (trace.branch_count + 7) // 8
+
+
+class TestReplayEquality:
+    @pytest.mark.parametrize("kind,mode", [
+        (LevelTwoKind.HYBRID, ValueMode.CURRENT),
+        (LevelTwoKind.ARVI, ValueMode.CURRENT),
+        (LevelTwoKind.ARVI, ValueMode.LOAD_BACK),
+        (LevelTwoKind.ARVI, ValueMode.PERFECT),
+    ])
+    @pytest.mark.parametrize("depth", [20, 60])
+    def test_replay_equals_live_simulation(self, program, trace, kind,
+                                           mode, depth):
+        live = engine_result(program, kind=kind, mode=mode, depth=depth)
+        replayed = engine_result(
+            program, core=TraceReplayCore(program, trace), kind=kind,
+            mode=mode, depth=depth)
+        assert replayed == live
+
+    def test_one_trace_drives_many_engines(self, program, trace):
+        """The materialized stream is shared: replaying twice reuses the
+        same DynInst objects and still matches the live run."""
+        first = engine_result(program, core=TraceReplayCore(program, trace))
+        second = engine_result(program, core=TraceReplayCore(program, trace))
+        live = engine_result(program)
+        assert first == second == live
+        assert trace.materialize(program) is trace.materialize(program)
+
+
+class TestRoundTrip:
+    def test_serialize_load_replay(self, program, trace):
+        loaded = CommittedTrace.from_bytes(trace.to_bytes())
+        assert loaded.length == trace.length
+        assert loaded.pcs == trace.pcs
+        assert loaded.results == trace.results
+        assert loaded.taken_bits == trace.taken_bits
+        assert loaded.addrs == trace.addrs
+        assert loaded.store_values == trace.store_values
+        assert loaded.halted == trace.halted
+        assert (engine_result(program, core=TraceReplayCore(program, loaded))
+                == engine_result(program))
+
+    @pytest.mark.parametrize("mangle", [
+        lambda blob: b"",
+        lambda blob: b"NOTATRACE" + blob[9:],
+        lambda blob: blob[:40],
+        lambda blob: blob[:-8],
+        lambda blob: blob + b"trailing-garbage",
+    ])
+    def test_malformed_bytes_raise(self, trace, mangle):
+        with pytest.raises(TraceError):
+            CommittedTrace.from_bytes(mangle(trace.to_bytes()))
+
+    def test_format_version_mismatch_raises(self, trace, monkeypatch):
+        import repro.pipeline.trace as trace_module
+
+        blob = trace.to_bytes()
+        monkeypatch.setattr(trace_module, "TRACE_FORMAT_VERSION", 999)
+        with pytest.raises(TraceError, match="format"):
+            CommittedTrace.from_bytes(blob)
+
+
+class TestGuards:
+    def test_wrongpath_rejects_replay_core(self, program, trace):
+        with pytest.raises(ValueError, match="wrongpath"):
+            engine_result(program, core=TraceReplayCore(program, trace),
+                          speculation="wrongpath")
+
+    def test_wrong_program_rejected(self, trace):
+        other = get_program("compress", scale=SCALE, seed=1)
+        with pytest.raises(TraceError, match="does not match"):
+            TraceReplayCore(other, trace)
+
+    def test_engine_requires_matching_program(self, program, trace):
+        other = get_program("li", scale=SCALE, seed=1)
+        config = machine_for_depth(20)
+        with pytest.raises(ValueError, match="different program"):
+            PipelineEngine(other, config,
+                           build_predictor(LevelTwoKind.HYBRID, config),
+                           core=TraceReplayCore(program, trace))
+
+    def test_exhausted_trace_raises_instead_of_diverging(self, program):
+        short = record_trace(program, max_instructions=50)
+        core = TraceReplayCore(program, short)
+        for _ in range(50):
+            assert core.step() is not None
+        with pytest.raises(TraceError, match="exhausted"):
+            core.step()
+
+    def test_take_stream_respects_budget_and_freshness(self, program, trace):
+        core = TraceReplayCore(program, trace)
+        assert core.take_stream(trace.length - 1) is None  # would truncate
+        stream = core.take_stream(10_000_000)
+        assert stream is not None and len(stream) == trace.length
+        assert core.halted and core.instruction_count == trace.length
+        assert core.step() is None
+        # A partially stepped core can't hand over wholesale.
+        stepped = TraceReplayCore(program, trace)
+        stepped.step()
+        assert stepped.take_stream(10_000_000) is None
+
+    def test_truncated_trace_engine_run_raises(self, program):
+        short = record_trace(program, max_instructions=50)
+        with pytest.raises(TraceError, match="exhausted"):
+            engine_result(program, core=TraceReplayCore(program, short))
