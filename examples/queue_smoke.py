@@ -1,0 +1,51 @@
+"""Queue-backend smoke: distributed grid == serial grid, traces shipped.
+
+Runs a Figure-5-shaped redirect grid (plus a small wrongpath slice)
+twice — once on the serial backend, once on the queue backend with two
+``python -m repro.worker`` subprocesses draining a filesystem broker —
+and asserts the results are bit-for-bit equal (``==``).  Also asserts
+that every redirect batch reached its worker with a *shipped* committed
+trace (the cluster shares one functional run per workload) while
+wrongpath batches ran live.  CI runs this at ``REPRO_SCALE=0.05`` as the
+queue-backend gate; locally::
+
+    REPRO_SCALE=0.05 python examples/queue_smoke.py
+"""
+
+from repro.experiments.backends import QueueBackend
+from repro.experiments.runner import run_suite
+
+GRID = dict(configurations=("baseline", "current"), depths=(20, 40),
+            benchmarks=("m88ksim", "compress"))
+
+
+def run_mode(speculation: str) -> None:
+    serial = run_suite(**GRID, speculation=speculation, jobs=1,
+                       use_cache=False, backend="serial")
+    backend = QueueBackend(workers=2, lease_timeout=60.0, poll=0.02,
+                           timeout=1800.0)
+    queued = run_suite(**GRID, speculation=speculation, jobs=2,
+                       use_cache=False, backend=backend)
+    assert queued == serial, (
+        f"queue backend diverged from serial in {speculation} mode")
+    sources = set(backend.trace_sources.values())
+    expected = {"shipped"} if speculation == "redirect" else {"live"}
+    assert sources == expected, (
+        f"{speculation} batches used traces {sources}, expected {expected}")
+    print(f"[queue-smoke] {speculation}: {len(queued)} points equal across "
+          f"serial/queue; per-batch trace_source: "
+          f"{dict(sorted(backend.trace_sources.items()))}")
+    for (benchmark, configuration, depth), result in sorted(queued.items()):
+        print(f"  {benchmark:10s} {configuration:8s} depth {depth:2d}  "
+              f"accuracy {result.prediction_accuracy:.4f}  "
+              f"ipc {result.ipc:.3f}")
+
+
+def main() -> None:
+    run_mode("redirect")
+    run_mode("wrongpath")
+    print("[queue-smoke] OK: distributed results are bit-for-bit equal")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,329 @@
+"""Work-queue broker for the distributed experiment backend.
+
+Two independent pieces live here (DESIGN.md §9):
+
+* **The wire format** — :func:`encode_message` / :func:`decode_message`
+  frame every queue payload (job descriptions, result envelopes) as
+  ``magic | u32 body length | canonical-JSON body | raw blob``.  The
+  body carries a SHA-256 digest over the canonical body-minus-digest
+  plus the blob, so *any* truncation or bit flip — in the framing, the
+  JSON, the digest itself or the blob — raises :class:`MessageError`.
+  Nothing transport-corrupted can ever decode into a silently different
+  job or result.  The blob slot ships binary sidecars (a serialized
+  :class:`~repro.pipeline.trace.CommittedTrace`) without base64 bloat.
+* **The queue** — :class:`FileBroker`, a single-directory work queue
+  (``queue/`` → ``leased/`` → ``results/`` plus a ``ticks/`` progress
+  stream) whose only primitives are atomic rename and atomic
+  write-then-rename, so any filesystem shared between the scheduler and
+  its workers (local disk for subprocess workers, NFS for a cluster)
+  works unchanged.  The message layer above is transport-agnostic: a
+  socket broker would reuse :func:`encode_message` verbatim.
+
+Queue state machine (the scheduler side lives in
+:class:`~repro.experiments.backends.QueueBackend`):
+
+* ``submit`` writes a job message into ``queue/``;
+* a worker ``lease``\\ s by atomically renaming the file into
+  ``leased/`` — rename either succeeds for exactly one worker or raises,
+  so no job is ever double-leased;
+* the leased file's mtime is the lease heartbeat: ``renew`` (and every
+  per-point ``tick``) touches it, and :meth:`FileBroker.expired` reports
+  jobs whose heartbeat is older than ``lease_timeout`` so the scheduler
+  can requeue work held by a crashed or wedged worker;
+* ``complete`` atomically publishes a result message into ``results/``
+  and releases the lease; :meth:`FileBroker.collect_results` consumes
+  result files, surfacing undecodable ones as :class:`MessageError`
+  values (the scheduler retries those with the same bounded-attempt
+  machinery as an expired lease — a corrupt payload is never an answer
+  and never silently dropped).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import struct
+import tempfile
+from dataclasses import dataclass
+
+#: Versions the framing + digest rules; mismatches are decode errors.
+MESSAGE_FORMAT_VERSION = 1
+
+_MAGIC = b"REPROQMS"
+
+
+class QueueError(RuntimeError):
+    """A queue operation failed (transport, lease, or retry exhaustion)."""
+
+
+class MessageError(QueueError):
+    """A queue message is malformed, truncated, or fails its checksum."""
+
+
+class RemotePointError(QueueError):
+    """A worker failed to simulate one point; carries the remote detail."""
+
+
+def _canonical(header: dict) -> bytes:
+    return json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+
+
+def encode_message(kind: str, payload: dict, blob: bytes = b"") -> bytes:
+    """Frame one message: magic, body length, digested JSON body, blob."""
+    header = {
+        "format": MESSAGE_FORMAT_VERSION,
+        "kind": kind,
+        "payload": payload,
+        "blob_len": len(blob),
+    }
+    header["sha256"] = hashlib.sha256(_canonical(header) + blob).hexdigest()
+    body = _canonical(header)
+    return _MAGIC + struct.pack("<I", len(body)) + body + blob
+
+
+@dataclass(frozen=True)
+class Message:
+    """One decoded (and integrity-verified) queue message."""
+
+    kind: str
+    payload: dict
+    blob: bytes
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse a framed message; any corruption raises :class:`MessageError`.
+
+    The checksum covers the canonical body and the blob, so the JSON
+    payload, the counts, the digest field and the binary sidecar are all
+    tamper-evident — a bit-flipped message can never decode into a
+    different job or result.
+    """
+    try:
+        if data[:8] != _MAGIC:
+            raise MessageError("bad queue-message magic")
+        (body_len,) = struct.unpack_from("<I", data, 8)
+        body = data[12:12 + body_len]
+        if len(body) != body_len:
+            raise MessageError(
+                f"truncated message body ({len(body)} of {body_len} bytes)")
+        header = json.loads(body.decode())
+        if header.get("format") != MESSAGE_FORMAT_VERSION:
+            raise MessageError(
+                f"queue-message format {header.get('format')!r} != "
+                f"{MESSAGE_FORMAT_VERSION}")
+        blob = bytes(data[12 + body_len:])
+        if len(blob) != header["blob_len"]:
+            raise MessageError(
+                f"blob is {len(blob)} bytes, header says "
+                f"{header['blob_len']}")
+        stated = header.pop("sha256")
+        actual = hashlib.sha256(_canonical(header) + blob).hexdigest()
+        if stated != actual:
+            raise MessageError("queue-message checksum mismatch")
+        return Message(kind=header["kind"], payload=header["payload"],
+                       blob=blob)
+    except MessageError:
+        raise
+    except Exception as exc:  # truncated/garbage input of any shape
+        raise MessageError(f"malformed queue message: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class LeasedJob:
+    """One job a worker holds: its id plus the decoded message (``None``
+    when the stored file itself failed to decode — the worker reports
+    that back so the scheduler can retry from its pristine copy)."""
+
+    job_id: str
+    message: Message | None
+    error: str | None = None
+
+
+class FileBroker:
+    """Single-directory work queue shared by scheduler and workers."""
+
+    def __init__(self, directory: str | os.PathLike, *,
+                 lease_timeout: float = 30.0) -> None:
+        self.directory = pathlib.Path(directory)
+        self.lease_timeout = float(lease_timeout)
+        self.queue_dir = self.directory / "queue"
+        self.leased_dir = self.directory / "leased"
+        self.results_dir = self.directory / "results"
+        self.ticks_dir = self.directory / "ticks"
+        for path in (self.queue_dir, self.leased_dir, self.results_dir,
+                     self.ticks_dir):
+            path.mkdir(parents=True, exist_ok=True)
+        # Read offset per tick file, so drain_ticks is incremental.
+        self._tick_offsets: dict[str, int] = {}
+
+    # -- low-level helpers ---------------------------------------------------
+
+    @staticmethod
+    def _check_job_id(job_id: str) -> str:
+        if not job_id or any(c in job_id for c in "/\\\0") \
+                or job_id.startswith("."):
+            raise ValueError(f"malformed job id {job_id!r}")
+        return job_id
+
+    def _atomic_write(self, path: pathlib.Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- scheduler side ------------------------------------------------------
+
+    def submit(self, job_id: str, payload: dict, blob: bytes = b"") -> None:
+        """Enqueue one job message (atomically visible to workers)."""
+        self._check_job_id(job_id)
+        self._atomic_write(self.queue_dir / f"{job_id}.msg",
+                           encode_message("job", payload, blob))
+
+    def remove(self, job_id: str) -> None:
+        """Withdraw a job from the queue and release any lease on it."""
+        self._check_job_id(job_id)
+        for directory in (self.queue_dir, self.leased_dir):
+            try:
+                os.unlink(directory / f"{job_id}.msg")
+            except OSError:
+                pass
+
+    def drain_ticks(self) -> list[tuple[str, int]]:
+        """New per-point progress ticks since the last drain.
+
+        Each worker appends ``"<index>\\n"`` lines to its job's tick
+        file; only complete lines are consumed (a torn final line is
+        left for the next drain), and unparseable lines are skipped —
+        ticks are progress hints, never results.
+        """
+        ticks: list[tuple[str, int]] = []
+        for path in sorted(self.ticks_dir.glob("*.ticks")):
+            job_id = path.stem
+            offset = self._tick_offsets.get(job_id, 0)
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            except OSError:
+                continue
+            complete = chunk.rfind(b"\n") + 1
+            self._tick_offsets[job_id] = offset + complete
+            for line in chunk[:complete].splitlines():
+                try:
+                    ticks.append((job_id, int(line)))
+                except ValueError:
+                    continue
+            # A requeued job's ticks restart from index 0; truncation is
+            # impossible (append-only), so offsets only grow.
+        return ticks
+
+    def collect_results(self) -> list[tuple[str, Message | MessageError]]:
+        """Consume result files; corrupt ones surface as MessageError."""
+        collected: list[tuple[str, Message | MessageError]] = []
+        for path in sorted(self.results_dir.glob("*.msg")):
+            try:
+                data = path.read_bytes()
+            except OSError:
+                continue
+            try:
+                outcome: Message | MessageError = decode_message(data)
+            except MessageError as exc:
+                outcome = exc
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            collected.append((path.stem, outcome))
+        return collected
+
+    def expired(self) -> list[str]:
+        """Leased jobs whose heartbeat is older than ``lease_timeout``."""
+        import time
+
+        deadline = time.time() - self.lease_timeout
+        stale = []
+        for path in self.leased_dir.glob("*.msg"):
+            try:
+                if path.stat().st_mtime < deadline:
+                    stale.append(path.stem)
+            except OSError:
+                continue
+        return stale
+
+    def queued_count(self) -> int:
+        return sum(1 for _ in self.queue_dir.glob("*.msg"))
+
+    def leased_count(self) -> int:
+        return sum(1 for _ in self.leased_dir.glob("*.msg"))
+
+    # -- worker side ---------------------------------------------------------
+
+    def lease(self) -> LeasedJob | None:
+        """Atomically claim the oldest queued job, or None when idle.
+
+        The queue→leased rename succeeds for exactly one process; losers
+        move on to the next file.  A stored message that fails to decode
+        is still *leased* (so it stops bouncing between workers) and
+        returned with ``message=None`` — the worker reports the decode
+        failure as its result and the scheduler retries from its own
+        pristine copy of the job.
+        """
+        for path in sorted(self.queue_dir.glob("*.msg")):
+            target = self.leased_dir / path.name
+            try:
+                os.rename(path, target)
+            except OSError:
+                continue  # another worker won the rename
+            try:
+                os.utime(target)
+                data = target.read_bytes()
+            except OSError:
+                # The scheduler withdrew the job (remove()) in the
+                # instant between our rename and this read — it is no
+                # longer ours; move on.
+                continue
+            try:
+                message = decode_message(data)
+            except MessageError as exc:
+                return LeasedJob(path.stem, None, error=str(exc))
+            return LeasedJob(path.stem, message)
+        return None
+
+    def renew(self, job_id: str) -> None:
+        """Heartbeat: push the lease expiry out by touching the file."""
+        try:
+            os.utime(self.leased_dir / f"{self._check_job_id(job_id)}.msg")
+        except OSError:
+            pass  # lease already reclaimed; the result dedupe handles it
+
+    def tick(self, job_id: str, index: int) -> None:
+        """Record one completed point (and renew the lease)."""
+        self._check_job_id(job_id)
+        with open(self.ticks_dir / f"{job_id}.ticks", "ab") as handle:
+            handle.write(f"{index}\n".encode())
+        self.renew(job_id)
+
+    def complete(self, job_id: str, payload: dict, blob: bytes = b"", *,
+                 raw: bytes | None = None) -> None:
+        """Publish a result message and release the lease.
+
+        ``raw`` bypasses encoding — it exists for fault injection (the
+        worker's ``--corrupt-results`` flag) and tests.
+        """
+        self._check_job_id(job_id)
+        data = raw if raw is not None \
+            else encode_message("result", payload, blob)
+        self._atomic_write(self.results_dir / f"{job_id}.msg", data)
+        try:
+            os.unlink(self.leased_dir / f"{job_id}.msg")
+        except OSError:
+            pass

@@ -55,6 +55,10 @@ def code_fingerprint() -> str:
         rel = path.relative_to(root)
         if rel.parts[0] == "experiments" and rel.name != "runner.py":
             continue
+        if rel.parts == ("worker.py",):
+            # The queue worker entrypoint is harness, not simulator: it
+            # funnels into the same execute_point as every other path.
+            continue
         digest.update(str(rel).encode())
         digest.update(path.read_bytes())
     return digest.hexdigest()
@@ -115,6 +119,37 @@ class ExperimentPoint:
     def grid_key(self) -> tuple[str, str, int]:
         """The (benchmark, configuration, depth) key ``run_suite`` returns."""
         return (self.benchmark, self.configuration, self.pipeline_depth)
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe form (the queue backend's wire shape)."""
+        arvi = self.arvi_config
+        return {
+            "benchmark": self.benchmark,
+            "configuration": self.configuration,
+            "pipeline_depth": self.pipeline_depth,
+            "scale": self.scale,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "speculation": self.speculation,
+            "arvi": None if arvi is None else {
+                f.name: getattr(arvi, f.name) for f in fields(ARVIConfig)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentPoint":
+        """Inverse of :meth:`to_dict`; round-trips to an equal point."""
+        arvi = payload["arvi"]
+        return cls(
+            benchmark=payload["benchmark"],
+            configuration=payload["configuration"],
+            pipeline_depth=int(payload["pipeline_depth"]),
+            scale=payload["scale"],
+            warmup=payload["warmup"],
+            seed=int(payload["seed"]),
+            arvi_config=None if arvi is None else ARVIConfig(**arvi),
+            speculation=payload["speculation"],
+        )
 
     def validate(self) -> None:
         if self.configuration not in CONFIGURATIONS:

@@ -134,6 +134,7 @@ def run_suite(configurations=CONFIGURATIONS, depths=(20,),
               use_cache: bool = True,
               progress: ProgressCallback | None = None,
               batch: bool | None = None,
+              backend=None,
               ) -> dict[tuple[str, str, int], SimulationResult]:
     """Run a grid of experiment points; keyed (benchmark, config, depth).
 
@@ -146,11 +147,14 @@ def run_suite(configurations=CONFIGURATIONS, depths=(20,),
     sweep it — each mode has its own cache keys, so replays never mix.
     ``batch=None`` honours ``REPRO_BATCH`` (default on): same-benchmark
     points are simulated in per-worker batches that share one program
-    build (results are identical either way).
+    build (results are identical either way).  ``backend=None`` honours
+    ``REPRO_BACKEND`` (``serial`` | ``local`` | ``queue``; see
+    :mod:`repro.experiments.backends`) — results are bit-for-bit equal
+    on every backend.
     """
     plan = build_plan(configurations, depths, benchmarks, scale=scale,
                       warmup=warmup, seed=seed, arvi_config=arvi_config,
                       speculation=speculation)
     results = run_plan(plan, jobs=jobs, cache=cache, use_cache=use_cache,
-                       progress=progress, batch=batch)
+                       progress=progress, batch=batch, backend=backend)
     return {point.grid_key: result for point, result in results.items()}

@@ -1,56 +1,68 @@
-"""Experiment scheduling: parallel (or serial) execution of a plan.
+"""Experiment scheduling: execution of a plan over a pluggable backend.
 
 :func:`run_plan` takes an :class:`~repro.experiments.plan.ExperimentPlan`
-and executes every point that is not already in the result cache, sharding
-the remainder across a :class:`concurrent.futures.ProcessPoolExecutor`.
-The worker count comes from ``REPRO_JOBS`` (default ``os.cpu_count()``);
-``REPRO_JOBS=1`` is a deterministic serial fallback that never spawns
-worker processes.
+and executes every point that is not already in the result cache.  The
+*where* is delegated to an :class:`~repro.experiments.backends.
+ExecutionBackend` — in-process (``serial``), a local
+``ProcessPoolExecutor`` (``local``), or a distributed work queue drained
+by ``python -m repro.worker`` processes (``queue``) — selected via
+``REPRO_BACKEND`` or the ``backend=`` argument; unset keeps the
+historical behaviour (``REPRO_JOBS=1`` runs serially, more workers use
+the local pool).  Point keys, cache bytes and progress events are
+identical on every backend, so the result cache and per-point progress
+ticks are backend-agnostic.
 
 **In-worker batching** (``REPRO_BATCH``, default on): pending points are
 grouped by workload identity — ``(benchmark, scale, seed)``, the
 arguments of :func:`~repro.workloads.registry.get_program` — and each
 worker receives a contiguous *batch* of same-benchmark points in one
 submission.  The worker builds (and pre-decodes) the shared ``Program``
-once per batch and amortizes the per-task pool overhead (pickling,
-future bookkeeping, wakeups) across the batch.  Batches never mix
-benchmarks, point keys and cache contents are exactly those of per-point
-execution, and one failing point inside a batch does not discard its
-siblings' completed results.  ``REPRO_BATCH=0`` (or ``batch=False``)
-restores one-point-per-task submission.
+once per batch and amortizes the per-task overhead across the batch.
+Batches never mix benchmarks, point keys and cache contents are exactly
+those of per-point execution, and one failing point inside a batch does
+not discard its siblings' completed results.  ``REPRO_BATCH=0`` (or
+``batch=False``) restores one-point-per-task submission.
 
 **Trace sharing** (``REPRO_TRACE``, default on; DESIGN.md §8): within a
 batch — and across a serial sweep — the ``redirect`` points of one
 workload identity share a single recorded committed-instruction trace
-(:mod:`repro.experiments.tracing`): the functional core runs once and
-every timing configuration replays the stream, which amortizes far more
-than the program build.  ``wrongpath`` points keep the live core.
+(:mod:`repro.experiments.tracing`); the queue backend additionally
+*ships* the serialized trace inside each job, so a whole cluster shares
+one functional run per workload.  ``wrongpath`` points keep the live
+core.
 
 Determinism: every point is an independent, fully seeded simulation, and
-every result — computed serially, computed in a worker process (batched
-or not), replayed from a shared trace, or replayed from the cache —
+every result — computed serially, in a pool worker, on a queue worker,
+replayed from a shared or shipped trace, or replayed from the cache —
 passes through the same ``SimulationResult.to_dict``/``from_dict`` round
 trip, so the returned objects are bit-for-bit equal (``==``) no matter
-which path produced them.
+which path produced them (enforced by the cross-backend differential
+suite).
 
 Progress is streamed through an optional callback receiving one
-:class:`ProgressEvent` per completed point, in completion order: workers
-tick the parent through a manager queue after *every* point (carrying
-the batch id), so a large batched grid shows steady per-point progress
-instead of stalling until whole batches land.
+:class:`ProgressEvent` per completed point, in completion order.
+Backends may report a point more than once (a queue batch that is
+retried after a worker crash re-runs from its start); the scheduler
+dedupes, so the callback still sees exactly one event per point with a
+monotone ``completed`` counter and stable batch metadata.  Failures are
+collected per point and the first one is raised once the grid has
+drained — completed siblings always reach the cache first.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import pathlib
-import queue as queue_module
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.experiments.backends import (
+    ExecutionBackend,
+    _compute_batch,
+    _make_batches,
+    default_batching,
+    default_jobs,
+    resolve_backend,
+)
 from repro.experiments.cache import ResultCache, default_cache
 from repro.experiments.plan import (
     ExperimentPlan,
@@ -60,23 +72,18 @@ from repro.experiments.plan import (
 )
 from repro.pipeline.stats import SimulationResult
 
+__all__ = [
+    "ProgressCallback",
+    "ProgressEvent",
+    "default_batching",
+    "default_jobs",
+    "run_plan",
+    "run_points",
+]
 
-def default_jobs() -> int:
-    """Worker count: ``REPRO_JOBS`` if set and valid, else CPU count."""
-    raw = os.environ.get("REPRO_JOBS", "")
-    try:
-        jobs = int(raw)
-    except ValueError:
-        jobs = 0
-    if jobs <= 0:
-        jobs = os.cpu_count() or 1
-    return jobs
-
-
-def default_batching() -> bool:
-    """In-worker point batching: on unless ``REPRO_BATCH`` disables it."""
-    return os.environ.get("REPRO_BATCH", "1").strip().lower() not in (
-        "0", "false", "no", "off")
+# _compute_batch and _make_batches are re-exported above for callers and
+# tests that address the batching helpers through the scheduler module
+# (their home since PR 3); they live in backends.py now.
 
 
 @dataclass(frozen=True)
@@ -87,7 +94,7 @@ class ProgressEvent:
     key: str
     completed: int            # points done so far (including this one)
     total: int                # points in the plan
-    source: str               # "cache" | "serial" | "worker"
+    source: str               # "cache" | "serial" | "worker" | "queue"
     elapsed: float            # seconds since run_plan started
     batch_id: str | None = None   # worker batch the point travelled in
     batch_size: int = 1           # points in that batch
@@ -96,132 +103,51 @@ class ProgressEvent:
 ProgressCallback = Callable[[ProgressEvent], None]
 
 
-def _relayable_exception(exc: Exception) -> Exception:
-    """Make a worker exception safe to return across the process boundary.
+class _PlanReport:
+    """Scheduler side of the backend protocol.
 
-    The worker traceback is attached as an exception note (the future
-    machinery's ``_RemoteTraceback`` only decorates exceptions *raised*
-    out of a task, not ones returned in a payload), and unpicklable
-    exceptions are summarized into a plain ``RuntimeError`` so they can
-    never poison the batch's return value and take sibling results down
-    with them.
+    Translates backend callbacks into cache writes, progress events and
+    collected failures.  Ticks are deduplicated on (batch, index): a
+    retried queue batch re-executes points whose ticks already streamed,
+    and the callback must still see exactly one event per point with a
+    monotone ``completed`` counter (the double-tick fix).
     """
-    import pickle
-    import traceback
 
-    note = "worker traceback:\n" + traceback.format_exc()
-    try:
-        exc.add_note(note)
-        pickle.loads(pickle.dumps(exc))
-        return exc
-    except Exception:  # noqa: BLE001 - unpicklable or note-less exotica
-        replacement = RuntimeError(f"{type(exc).__name__}: {exc}")
-        replacement.add_note(note)
-        return replacement
+    def __init__(self, batches: dict[str, tuple[ExperimentPoint, ...]],
+                 source: str, emit, deliver, *,
+                 wants_ticks: bool) -> None:
+        self._batches = batches
+        self._source = source
+        self._emit = emit            # (point, source, batch_id, batch_size)
+        self._deliver = deliver      # (point, payload) -> None
+        self._ticked: set[tuple[str, int]] = set()
+        self.wants_ticks = wants_ticks
+        self.failure: Exception | None = None
+        self.failures: list[tuple[ExperimentPoint | None, Exception]] = []
 
+    def tick(self, batch_id: str, index: int) -> None:
+        if (batch_id, index) in self._ticked:
+            return
+        self._ticked.add((batch_id, index))
+        group = self._batches[batch_id]
+        self._emit(group[index], self._source, batch_id, len(group))
 
-def _compute_batch(points: tuple[ExperimentPoint, ...],
-                   batch_id: str | None = None,
-                   ticker=None) -> list[tuple]:
-    """Worker entry: simulate a same-benchmark batch of points.
+    def deliver(self, batch_id: str, index: int, payload: dict) -> None:
+        self._deliver(self._batches[batch_id][index], payload)
 
-    The workload registry caches the shared ``Program`` (and its
-    pre-decoded table) per process, so it is built once for the whole
-    batch — and under ``REPRO_TRACE`` the batch's ``redirect`` points
-    share a single recorded committed trace, so the functional core runs
-    once and every timing configuration replays it.  Failures are
-    isolated per point — the batch returns ``("ok", payload)`` /
-    ``("error", exception)`` entries positionally so sibling results
-    still reach the parent (and its cache).
-
-    ``ticker`` (a manager queue) receives ``(batch_id, index)`` after
-    each completed point so the parent can stream per-point progress
-    while the batch is still running.
-    """
-    from repro.experiments.runner import execute_point
-    from repro.experiments.tracing import SharedTraces
-    traces = SharedTraces(points)
-    entries: list[tuple] = []
-    for index, point in enumerate(points):
-        try:
-            result = execute_point(point, trace=traces.get(point))
-        except Exception as exc:  # noqa: BLE001 - relayed to the parent
-            entries.append(("error", _relayable_exception(exc)))
-            continue
-        entries.append(("ok", result.to_dict()))
-        if ticker is not None:
-            try:
-                ticker.put((batch_id, index))
-            except Exception:  # noqa: BLE001 - a dead manager must not
-                ticker = None  # take the batch's results down with it
-    return entries
-
-
-def _make_batches(pending: list[ExperimentPoint],
-                  jobs: int) -> list[tuple[ExperimentPoint, ...]]:
-    """Group pending points into benchmark-pure worker batches.
-
-    Points are grouped by workload identity (benchmark, scale, seed) in
-    first-appearance order, and each group is split into contiguous
-    near-equal chunks sized so the total batch count is about ``jobs`` —
-    every worker stays busy, while no batch ever mixes workloads (the
-    whole point of batching is one program build per batch).
-    """
-    groups: dict[tuple, list[ExperimentPoint]] = {}
-    for point in pending:
-        groups.setdefault(
-            (point.benchmark, point.scale, point.seed), []).append(point)
-    total = len(pending)
-    batches: list[tuple[ExperimentPoint, ...]] = []
-    for points in groups.values():
-        share = max(1, min(len(points), round(jobs * len(points) / total)))
-        size, extra = divmod(len(points), share)
-        start = 0
-        for chunk in range(share):
-            stop = start + size + (1 if chunk < extra else 0)
-            batches.append(tuple(points[start:stop]))
-            start = stop
-    return batches
-
-
-def _pool_context():
-    """Prefer fork so workers inherit sys.path (PYTHONPATH=src setups)."""
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
-
-
-def _ensure_worker_import_path() -> str | None:
-    """Make ``repro`` importable in spawn-started workers.
-
-    Spawn workers boot a fresh interpreter that must re-import this
-    module to unpickle the submitted callable, so the parent's
-    ``sys.path`` entry for an uninstalled ``src/`` checkout (e.g. added
-    by pytest's ``pythonpath`` option) has to travel via ``PYTHONPATH``.
-    Returns the previous value for :func:`_restore_worker_import_path`;
-    the caller restores it once the pool has shut down (every lazily
-    spawned worker exists by then).
-    """
-    previous = os.environ.get("PYTHONPATH")
-    src_dir = str(pathlib.Path(__file__).resolve().parents[2])
-    parts = previous.split(os.pathsep) if previous else []
-    if src_dir not in parts:
-        os.environ["PYTHONPATH"] = os.pathsep.join([src_dir] + parts)
-    return previous
-
-
-def _restore_worker_import_path(previous: str | None) -> None:
-    if previous is None:
-        os.environ.pop("PYTHONPATH", None)
-    else:
-        os.environ["PYTHONPATH"] = previous
+    def fail(self, batch_id: str, index: int | None,
+             error: Exception) -> None:
+        point = None if index is None else self._batches[batch_id][index]
+        self.failures.append((point, error))
+        if self.failure is None:
+            self.failure = error
 
 
 def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
              cache: ResultCache | None = None, use_cache: bool = True,
              progress: ProgressCallback | None = None,
              batch: bool | None = None,
+             backend: "str | ExecutionBackend | None" = None,
              ) -> dict[ExperimentPoint, SimulationResult]:
     """Execute a plan; returns {resolved point -> result}.
 
@@ -230,6 +156,10 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
     force recomputation without touching any store.  ``batch=None``
     honours ``REPRO_BATCH`` (default on): same-benchmark points travel to
     workers in batches; ``batch=False`` submits one point per task.
+    ``backend=None`` honours ``REPRO_BACKEND`` (``serial`` | ``local`` |
+    ``queue``; unset = serial for one worker, local pool otherwise); it
+    also accepts a configured :class:`~repro.experiments.backends.
+    ExecutionBackend` instance.
     """
     started = time.perf_counter()
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
@@ -245,6 +175,8 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
 
     def emit(point: ExperimentPoint, source: str,
              batch_id: str | None = None, batch_size: int = 1) -> None:
+        nonlocal done
+        done += 1
         if progress is not None:
             progress(ProgressEvent(
                 point=point, key=keys[point], completed=done,
@@ -257,101 +189,25 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
         hit = cache.get(keys[point]) if cache is not None else None
         if hit is not None:
             results[point] = hit
-            done += 1
             emit(point, "cache")
         else:
             pending.append(point)
 
     if pending:
-        if jobs == 1 or len(pending) == 1:
-            from repro.experiments.runner import execute_point
-            from repro.experiments.tracing import SharedTraces
+        engine = resolve_backend(backend, jobs=jobs, pending=len(pending))
+        batches = (_make_batches(pending, jobs) if batch
+                   else [(point,) for point in pending])
+        groups = {f"batch-{index}": group
+                  for index, group in enumerate(batches)}
 
-            # The serial sweep shares recorded traces across its redirect
-            # points exactly like a worker batch does.
-            traces = SharedTraces(pending)
-            for point in pending:
-                payload = execute_point(
-                    point, trace=traces.get(point)).to_dict()
-                results[point] = _finish(point, payload, keys, cache)
-                done += 1
-                emit(point, "serial")
-        else:
-            batches = (_make_batches(pending, jobs) if batch
-                       else [(point,) for point in pending])
-            workers = min(jobs, len(batches))
-            context = _pool_context()
-            needs_path = context.get_start_method() != "fork"
-            saved_path = _ensure_worker_import_path() if needs_path else None
-            # Per-point progress ticks travel through a manager queue so
-            # big batches do not look stalled; only created when someone
-            # is listening.
-            manager = context.Manager() if progress is not None else None
-            ticker = manager.Queue() if manager is not None else None
-            groups = {f"batch-{index}": group
-                      for index, group in enumerate(batches)}
+        def deliver(point: ExperimentPoint, payload: dict) -> None:
+            results[point] = _finish(point, payload, keys, cache)
 
-            def drain_ticker() -> None:
-                nonlocal done
-                if ticker is None:
-                    return
-                while True:
-                    try:
-                        batch_id, index = ticker.get_nowait()
-                    except queue_module.Empty:
-                        return
-                    group = groups[batch_id]
-                    done += 1
-                    emit(group[index], "worker", batch_id=batch_id,
-                         batch_size=len(group))
-
-            try:
-                with ProcessPoolExecutor(
-                        max_workers=workers, mp_context=context) as pool:
-                    futures = {
-                        pool.submit(_compute_batch, group,
-                                    batch_id=batch_id, ticker=ticker): group
-                        for batch_id, group in groups.items()}
-                    remaining = set(futures)
-                    failure: Exception | None = None
-                    while remaining:
-                        finished, remaining = wait(
-                            remaining, return_when=FIRST_COMPLETED,
-                            timeout=0.05 if ticker is not None else None)
-                        drain_ticker()
-                        for future in finished:
-                            group = futures[future]
-                            try:
-                                entries = future.result()
-                            except Exception as exc:
-                                # A whole-batch failure (e.g. a dead
-                                # worker); keep draining so completed
-                                # sibling batches still reach the cache.
-                                if failure is None:
-                                    failure = exc
-                                continue
-                            for point, (status, payload) in zip(
-                                    group, entries):
-                                if status != "ok":
-                                    # Keep draining: sibling points that
-                                    # completed must still reach the
-                                    # cache so a retry only recomputes
-                                    # the failed one.
-                                    if failure is None:
-                                        failure = payload
-                                    continue
-                                results[point] = _finish(
-                                    point, payload, keys, cache)
-                    # A worker's final ticks can land just after its
-                    # future resolves; one last drain catches them.
-                    drain_ticker()
-                    if failure is not None:
-                        raise failure
-            finally:
-                if manager is not None:
-                    manager.shutdown()
-                if needs_path:
-                    _restore_worker_import_path(saved_path)
+        report = _PlanReport(groups, engine.source, emit, deliver,
+                             wants_ticks=progress is not None)
+        engine.execute(groups, report, jobs=jobs)
+        if report.failure is not None:
+            raise report.failure
 
     # Return in plan order regardless of completion order.
     return {point: results[point] for point in plan}
@@ -370,7 +226,9 @@ def run_points(points, *, jobs: int | None = None,
                cache: ResultCache | None = None, use_cache: bool = True,
                progress: ProgressCallback | None = None,
                batch: bool | None = None,
+               backend: "str | ExecutionBackend | None" = None,
                ) -> dict[ExperimentPoint, SimulationResult]:
     """Convenience wrapper: plan from explicit points, then run."""
     return run_plan(plan_from_points(points), jobs=jobs, cache=cache,
-                    use_cache=use_cache, progress=progress, batch=batch)
+                    use_cache=use_cache, progress=progress, batch=batch,
+                    backend=backend)

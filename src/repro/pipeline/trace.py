@@ -44,6 +44,7 @@ Invariants (DESIGN.md §8):
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 import sys
@@ -59,7 +60,11 @@ from repro.pipeline.functional import (
 
 #: Version of the serialized trace layout; mismatches are load errors
 #: (the trace store treats them as misses and re-records).
-TRACE_FORMAT_VERSION = 1
+#: v2: the header carries a SHA-256 digest over the canonical header and
+#: the raw column bytes, so any truncation or bit flip of a serialized
+#: trace raises :class:`TraceError` instead of replaying divergently —
+#: required now that traces are shipped to distributed queue workers.
+TRACE_FORMAT_VERSION = 2
 
 _MAGIC = b"REPROTRC"
 
@@ -192,6 +197,10 @@ class CommittedTrace:
     # then the raw column bytes in fixed order (pcs, results, taken_bits,
     # addrs, store_values).  Arrays are written in native byte order with
     # the order recorded in the header; a cross-endian load byteswaps.
+    # The header's "sha256" field digests the canonical header (minus the
+    # digest itself) plus the column bytes, so every field and every
+    # column is tamper-evident: a corrupted trace loads as TraceError,
+    # never as a silently different committed stream.
 
     def to_bytes(self) -> bytes:
         header = {
@@ -210,16 +219,18 @@ class CommittedTrace:
             "byteorder": sys.byteorder,
             "itemsize": array(_U32).itemsize,
         }
+        columns = (self.pcs.tobytes() + self.results.tobytes()
+                   + self.taken_bits + self.addrs.tobytes()
+                   + self.store_values.tobytes())
+        core = json.dumps(header, sort_keys=True,
+                          separators=(",", ":")).encode()
+        header["sha256"] = hashlib.sha256(core + columns).hexdigest()
         blob = json.dumps(header, sort_keys=True,
                           separators=(",", ":")).encode()
         out = bytearray(_MAGIC)
         out += struct.pack("<I", len(blob))
         out += blob
-        out += self.pcs.tobytes()
-        out += self.results.tobytes()
-        out += self.taken_bits
-        out += self.addrs.tobytes()
-        out += self.store_values.tobytes()
+        out += columns
         return bytes(out)
 
     @classmethod
@@ -250,6 +261,12 @@ class CommittedTrace:
                 raise TraceError(
                     f"trace payload is {len(data)} bytes, expected "
                     f"{expected}")
+            stated = header.pop("sha256")
+            core = json.dumps(header, sort_keys=True,
+                              separators=(",", ":")).encode()
+            actual = hashlib.sha256(core + data[offset:]).hexdigest()
+            if stated != actual:
+                raise TraceError("trace checksum mismatch")
 
             def take_array(count: int) -> array:
                 nonlocal offset

@@ -1,0 +1,190 @@
+"""Standalone queue worker: ``python -m repro.worker --broker DIR``.
+
+Leases benchmark-pure batch jobs from a
+:class:`~repro.experiments.broker.FileBroker` directory, simulates every
+point through the same :func:`~repro.experiments.runner.execute_point`
+kernel as the serial and local-pool backends, and publishes an
+integrity-checked result message per job.  Any number of workers — on
+this host or, with the broker directory on a shared filesystem, on many
+hosts — drain one queue; the scheduler side is
+:class:`~repro.experiments.backends.QueueBackend`.
+
+Per job the worker:
+
+* decodes the shipped points (and the serialized
+  :class:`~repro.pipeline.trace.CommittedTrace` sidecar, when the
+  scheduler recorded one — ``redirect`` points then replay the parent's
+  single functional run instead of re-interpreting the program);
+* ticks the broker after every completed point (which also renews the
+  job lease, so a long batch never spuriously expires while it makes
+  progress);
+* isolates failures per point: a bad point yields an ``("error", ...)``
+  entry, its siblings' results still ship.
+
+A worker that dies mid-batch simply stops heartbeating; the scheduler
+requeues the job after ``lease_timeout`` and another worker picks it
+up.  Exit codes: 0 (idle-exit / ``--max-jobs`` reached), 3 (injected
+crash).
+
+Fault injection (used by the test suite, harmless in production):
+
+* ``--crash-after-points N`` — hard-exit (``os._exit``) after N
+  completed points, *once per broker directory*: the first worker to
+  claim the ``crash.marker`` sentinel crashes, respawned or sibling
+  workers proceed normally, making kill-mid-batch tests deterministic;
+* ``--corrupt-results N`` — deliberately corrupt the first N result
+  messages this process publishes (the scheduler must detect the
+  checksum failure and requeue, never deliver them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+import traceback
+
+from repro.experiments.broker import FileBroker, LeasedJob
+from repro.experiments.plan import ExperimentPoint
+from repro.experiments.runner import execute_point
+from repro.experiments.tracing import SharedTraces
+from repro.pipeline.trace import CommittedTrace
+
+
+def _describe_exception(exc: Exception) -> dict:
+    """JSON-safe remote-error shape (rebuilt as RemotePointError)."""
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+
+
+def _claim_crash_marker(broker: FileBroker) -> bool:
+    """One-shot crash token: only the first claimant may crash."""
+    try:
+        fd = os.open(broker.directory / "crash.marker",
+                     os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except OSError:
+        return False
+    os.close(fd)
+    return True
+
+
+class _WorkerState:
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.args = args
+        self.completed_points = 0
+        self.corrupt_budget = args.corrupt_results
+        self.jobs_done = 0
+
+
+def _run_job(broker: FileBroker, leased: LeasedJob,
+             state: _WorkerState) -> None:
+    job_id = leased.job_id
+    if leased.message is None:
+        # The stored job file itself failed to decode; report that so
+        # the scheduler retries from its pristine copy.
+        broker.complete(job_id, {
+            "job_id": job_id,
+            "malformed_job": f"job message undecodable: {leased.error}",
+        })
+        return
+    payload = leased.message.payload
+    try:
+        points = [ExperimentPoint.from_dict(entry)
+                  for entry in payload["points"]]
+        trace = None
+        if leased.message.blob:
+            trace = CommittedTrace.from_bytes(leased.message.blob)
+    except Exception as exc:  # noqa: BLE001 - includes TraceError
+        broker.complete(job_id, {
+            "job_id": job_id,
+            "malformed_job": f"{type(exc).__name__}: {exc}",
+        })
+        return
+
+    trace_source = "shipped" if trace is not None else "live"
+    shared = SharedTraces(points) if trace is None else None
+    entries: list[list] = []
+    for index, point in enumerate(points):
+        if trace is not None:
+            point_trace = trace if point.speculation == "redirect" else None
+        else:
+            point_trace = shared.get(point)
+            if point_trace is not None:
+                trace_source = "local"
+        try:
+            result = execute_point(point, trace=point_trace)
+        except Exception as exc:  # noqa: BLE001 - isolated per point
+            entries.append(["error", _describe_exception(exc)])
+            continue
+        entries.append(["ok", result.to_dict()])
+        broker.tick(job_id, index)
+        state.completed_points += 1
+        if (state.args.crash_after_points is not None
+                and state.completed_points >= state.args.crash_after_points
+                and _claim_crash_marker(broker)):
+            os._exit(3)  # injected crash: lease left to expire
+
+    result_payload = {
+        "job_id": job_id,
+        "batch_id": payload.get("batch_id"),
+        "attempt": payload.get("attempt"),
+        "entries": entries,
+        "trace_source": trace_source,
+        "worker": f"{os.getpid()}",
+    }
+    if state.corrupt_budget > 0:
+        state.corrupt_budget -= 1
+        from repro.experiments.broker import encode_message
+
+        data = bytearray(encode_message("result", result_payload))
+        data[len(data) // 2] ^= 0xFF  # injected payload corruption
+        broker.complete(job_id, {}, raw=bytes(data))
+    else:
+        broker.complete(job_id, result_payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.worker",
+        description="Queue worker for the distributed experiment backend")
+    parser.add_argument("--broker", required=True,
+                        help="broker directory (shared with the scheduler)")
+    parser.add_argument("--poll", type=float, default=0.05,
+                        help="seconds between lease attempts when idle")
+    parser.add_argument("--idle-exit", type=float, default=None,
+                        help="exit 0 after this many consecutive idle "
+                             "seconds (default: run forever)")
+    parser.add_argument("--max-jobs", type=int, default=None,
+                        help="exit 0 after completing this many jobs")
+    parser.add_argument("--crash-after-points", type=int, default=None,
+                        help="fault injection: hard-exit after N completed "
+                             "points (once per broker directory)")
+    parser.add_argument("--corrupt-results", type=int, default=0,
+                        help="fault injection: corrupt the first N result "
+                             "messages this worker publishes")
+    args = parser.parse_args(argv)
+
+    broker = FileBroker(args.broker)
+    state = _WorkerState(args)
+    idle_since = time.monotonic()
+    while True:
+        leased = broker.lease()
+        if leased is None:
+            if (args.idle_exit is not None
+                    and time.monotonic() - idle_since >= args.idle_exit):
+                return 0
+            time.sleep(args.poll)
+            continue
+        _run_job(broker, leased, state)
+        state.jobs_done += 1
+        idle_since = time.monotonic()
+        if args.max_jobs is not None and state.jobs_done >= args.max_jobs:
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,10 @@ The acceptance grid for the experiment service: a 2-benchmark x 4-config
 x 2-depth sweep must produce identical keyed results under
 ``REPRO_JOBS=1``, ``REPRO_JOBS=4`` and a cached re-run — and the cached
 replay must be at least 10x faster than the cold run.  The hypothesis
-property extends the equality invariant to in-worker batching: batched,
-unbatched-parallel, serial and cache-replayed grids are ``==``.
+property extends the equality invariant across every execution backend:
+batched, unbatched-parallel, serial, queue-worker and cache-replayed
+grids are ``==`` in both speculation modes (the queue fault machinery
+has its own suite in ``test_backends.py``).
 """
 
 import tempfile
@@ -15,6 +17,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.experiments.backends import QueueBackend
 from repro.experiments.cache import ResultCache
 from repro.experiments.plan import (
     ExperimentPoint,
@@ -237,7 +240,7 @@ class TestBatching:
         assert len(batches) >= min(jobs, len({g[:3] for g in groups}))
         assert len(batches) <= len(pending)
 
-    @settings(max_examples=5, deadline=None)
+    @settings(max_examples=3, deadline=None)
     @given(
         benchmarks=st.lists(st.sampled_from(["li", "compress"]),
                             min_size=1, max_size=2, unique=True),
@@ -247,14 +250,16 @@ class TestBatching:
         depths=st.lists(st.sampled_from([20, 40]), min_size=1, max_size=2,
                         unique=True),
         seed=st.integers(1, 2),
+        speculation=st.sampled_from(["redirect", "wrongpath"]),
     )
-    def test_batched_parallel_serial_and_cached_grids_are_equal(
-            self, benchmarks, configurations, depths, seed):
-        """The satellite property: batched, unbatched-parallel, serial
-        and cache-replayed execution return ``==`` results."""
+    def test_all_backends_and_cache_replay_are_equal(
+            self, benchmarks, configurations, depths, seed, speculation):
+        """The cross-backend differential property: serial, local-pool
+        (batched and unbatched), queue-worker and cache-replayed
+        execution return ``==`` results, in both speculation modes."""
         plan = plan_from_points([
             ExperimentPoint(benchmark, configuration, depth, scale=0.01,
-                            warmup=50, seed=seed)
+                            warmup=50, seed=seed, speculation=speculation)
             for benchmark in benchmarks
             for configuration in configurations
             for depth in depths
@@ -264,6 +269,11 @@ class TestBatching:
         unbatched = run_plan(plan, jobs=2, use_cache=False, batch=False)
         assert batched == serial
         assert unbatched == serial
+        queued = run_plan(
+            plan, jobs=2, use_cache=False,
+            backend=QueueBackend(workers=2, lease_timeout=10.0, poll=0.01,
+                                 timeout=180.0))
+        assert queued == serial
         with tempfile.TemporaryDirectory() as tmp:
             store = ResultCache(tmp)
             for point, result in serial.items():

@@ -7,7 +7,11 @@ form round-trips losslessly.  Malformed traces are loud ``TraceError``\\ s
 (the store layer turns them into misses), never silent divergence.
 """
 
+import functools
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.arvi import ValueMode
 from repro.pipeline.config import machine_for_depth
@@ -141,6 +145,45 @@ class TestRoundTrip:
         monkeypatch.setattr(trace_module, "TRACE_FORMAT_VERSION", 999)
         with pytest.raises(TraceError, match="format"):
             CommittedTrace.from_bytes(blob)
+
+
+@functools.lru_cache(maxsize=1)
+def _fuzz_blob() -> bytes:
+    """A small serialized trace the fuzz property corrupts (built once;
+    hypothesis forbids function-scoped fixtures)."""
+    return record_trace(get_program("li", scale=0.01, seed=1)).to_bytes()
+
+
+class TestWireFuzz:
+    """The shipped-trace integrity property (ISSUE 5): traces travel to
+    distributed queue workers as bytes, so *any* truncation or bit flip
+    — framing, header, digest, or a single column value — must raise
+    ``TraceError``.  A silently divergent replay is the one failure mode
+    a distributed backend can never tolerate."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data())
+    def test_truncation_and_bitflips_always_raise(self, data):
+        blob = _fuzz_blob()
+        if data.draw(st.booleans(), label="truncate"):
+            cut = data.draw(st.integers(0, len(blob) - 1), label="cut")
+            corrupted = blob[:cut]
+        else:
+            pos = data.draw(st.integers(0, len(blob) - 1), label="pos")
+            bit = data.draw(st.integers(0, 7), label="bit")
+            mutated = bytearray(blob)
+            mutated[pos] ^= 1 << bit
+            corrupted = bytes(mutated)
+        with pytest.raises(TraceError):
+            CommittedTrace.from_bytes(corrupted)
+
+    def test_column_bitflip_is_caught_by_checksum(self, trace):
+        """A flipped result value passes every structural check; only
+        the digest can (and must) reject it."""
+        blob = bytearray(trace.to_bytes())
+        blob[-3] ^= 0x10                 # inside the store_values column
+        with pytest.raises(TraceError, match="checksum"):
+            CommittedTrace.from_bytes(bytes(blob))
 
 
 class TestGuards:
