@@ -8,10 +8,19 @@ is tracked from PR 3 onward:
   20-stage machine, in both speculation modes (``redirect`` and
   ``wrongpath``), best-of-N wall time (always the live functional core);
 * **trace replay** (DESIGN.md §8): for the redirect points, live-core
-  sim-ips vs replaying a recorded committed trace — the recording cost,
-  the warm replay throughput, and the speedup.  Replay and live results
-  **must** be bit-for-bit equal; a divergence raises and fails the run
-  (this is the CI correctness gate — perf numbers stay informational);
+  sim-ips vs replaying a recorded committed trace through the
+  *interpreted* engine loop (``REPRO_KERNEL=0``, the PR 4 path, kept
+  measurable for continuity) — the recording cost, the warm replay
+  throughput, and the speedup.  Replay and live results **must** be
+  bit-for-bit equal; a divergence raises and fails the run (this is the
+  CI correctness gate — perf numbers stay informational);
+* **kernel replay** (DESIGN.md §10): the same redirect points through
+  the compiled replay kernel, with per-phase timing (record / lower /
+  replay) and kernel-vs-interpreted-vs-live speedups.  The kernel
+  result **must** equal both the interpreted replay and the live run —
+  the second hard gate — and the PR 4 interpreted-replay numbers are
+  carried forward (``kernel.pr4_baseline``) so the kernel's speedup
+  over them stays visible across regenerations;
 * **grid batching**: a cold same-benchmark grid (cache disabled) run
   twice through the process-pool scheduler — once with in-worker point
   batching, once per-point — to track the scheduling-overhead win;
@@ -41,11 +50,14 @@ from datetime import datetime, timezone
 from repro.experiments.plan import ExperimentPoint, plan_from_points
 from repro.experiments.runner import execute_point
 from repro.experiments.scheduler import run_plan
+from repro.pipeline.kernel import ensure_lowered
 from repro.pipeline.trace import TraceRecorder
+from repro.predictors.twolevel import LevelTwoKind
 from repro.workloads.registry import get_program
 
-#: v2: trace_replay + grid_trace sections (PR 4).
-SCHEMA_VERSION = 2
+#: v3: kernel section with per-phase timing + carried PR 4 baseline
+#: (PR 6); v2 added trace_replay + grid_trace (PR 4).
+SCHEMA_VERSION = 3
 
 #: Single-point measurements: (benchmark, speculation mode).
 POINT_MATRIX = (
@@ -101,7 +113,10 @@ def measure_trace_replay(benchmark: str, *, scale: float, warmup: int,
     same timing configuration (warm best-of-``repeats``, so the
     materialized stream is shared the way a batch shares it), and
     *asserts* the replayed ``SimulationResult`` equals the live one —
-    the correctness gate CI relies on.
+    the correctness gate CI relies on.  The replay is forced onto the
+    interpreted path (``REPRO_KERNEL=0``) so this section keeps
+    measuring the PR 4 loop; the compiled kernel has its own section
+    (:func:`measure_kernel_replay`).
     """
     point = ExperimentPoint(benchmark, "baseline", 20, scale=scale,
                             warmup=warmup).resolve()
@@ -121,12 +136,20 @@ def measure_trace_replay(benchmark: str, *, scale: float, warmup: int,
 
     replay_best = None
     replay_result = None
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        replay_result = execute_point(point, trace=trace)
-        elapsed = time.perf_counter() - start
-        if replay_best is None or elapsed < replay_best:
-            replay_best = elapsed
+    previous = os.environ.get("REPRO_KERNEL")
+    try:
+        os.environ["REPRO_KERNEL"] = "0"  # measure the interpreted path
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            replay_result = execute_point(point, trace=trace)
+            elapsed = time.perf_counter() - start
+            if replay_best is None or elapsed < replay_best:
+                replay_best = elapsed
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = previous
 
     if replay_result != live_result:  # the hard correctness gate
         raise AssertionError(
@@ -140,6 +163,95 @@ def measure_trace_replay(benchmark: str, *, scale: float, warmup: int,
         "record_seconds": round(record_seconds, 4),
         "replay_wall_seconds": round(replay_best, 4),
         "replay_speedup": round(live_best / replay_best, 4),
+    }
+
+
+def measure_kernel_replay(benchmark: str, *, scale: float, warmup: int,
+                          repeats: int = 3) -> dict:
+    """Compiled-kernel replay vs interpreted replay vs live, per phase.
+
+    Times each phase of the kernel path separately — recording the
+    committed trace, lowering it to array form (including the one-shot
+    branch decision streams), and the warm per-config replay — and
+    *asserts* the kernel result is bit-for-bit equal to both the
+    interpreted replay and the live run: the PR 6 correctness gate
+    mirroring PR 4's replay==live gate.
+    """
+    point = ExperimentPoint(benchmark, "baseline", 20, scale=scale,
+                            warmup=warmup).resolve()
+    live_best = None
+    live_result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        live_result = execute_point(point, trace=False)
+        elapsed = time.perf_counter() - start
+        if live_best is None or elapsed < live_best:
+            live_best = elapsed
+
+    program = get_program(benchmark, scale=point.scale, seed=point.seed)
+    start = time.perf_counter()
+    trace = TraceRecorder(program).record()
+    record_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    lowered = ensure_lowered(program, trace)
+    lowered.streams_for(LevelTwoKind.HYBRID)
+    lower_seconds = time.perf_counter() - start
+
+    previous = os.environ.get("REPRO_KERNEL")
+    try:
+        os.environ["REPRO_KERNEL"] = "0"
+        interp_best = None
+        interpreted = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            interpreted = execute_point(point, trace=trace)
+            elapsed = time.perf_counter() - start
+            if interp_best is None or elapsed < interp_best:
+                interp_best = elapsed
+
+        os.environ["REPRO_KERNEL"] = "1"
+        kernel_best = None
+        kernel_result = None
+        for _ in range(max(1, repeats)):
+            info: dict = {}
+            start = time.perf_counter()
+            kernel_result = execute_point(point, trace=trace, info=info)
+            elapsed = time.perf_counter() - start
+            if kernel_best is None or elapsed < kernel_best:
+                kernel_best = elapsed
+            if info.get("kernel_source") != "kernel":
+                raise AssertionError(
+                    f"{benchmark}: compiled kernel did not engage "
+                    f"(kernel_source={info.get('kernel_source')!r})")
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = previous
+
+    if kernel_result != interpreted:  # the hard correctness gate
+        raise AssertionError(
+            f"{benchmark}: kernel replay diverged from the interpreted "
+            "replay")
+    if interpreted != live_result:  # PR 4's gate, kept
+        raise AssertionError(
+            f"{benchmark}: trace replay diverged from the live "
+            "functional core")
+    instructions = live_result.total_instructions
+    return {
+        "instructions": instructions,
+        "lowering_backend": lowered.backend,
+        "phases": {
+            "record_seconds": round(record_seconds, 4),
+            "lower_seconds": round(lower_seconds, 4),
+            "replay_wall_seconds": round(kernel_best, 4),
+        },
+        "kernel_sim_ips": round(instructions / kernel_best, 1),
+        "interpreted_sim_ips": round(instructions / interp_best, 1),
+        "live_sim_ips": round(instructions / live_best, 1),
+        "kernel_vs_interpreted": round(interp_best / kernel_best, 4),
+        "kernel_vs_live": round(live_best / kernel_best, 4),
     }
 
 
@@ -237,14 +349,52 @@ def measure_grid_trace(*, scale: float, warmup: int, jobs: int = 2,
     }
 
 
-def _load_baseline(output: pathlib.Path) -> dict | None:
-    """Carry the recorded pre-optimization baseline across runs."""
+def _load_previous(output: pathlib.Path) -> dict | None:
     try:
         previous = json.loads(output.read_text())
     except (OSError, ValueError):
         return None
+    return previous if isinstance(previous, dict) else None
+
+
+def _load_baseline(output: pathlib.Path) -> dict | None:
+    """Carry the recorded pre-optimization baseline across runs."""
+    previous = _load_previous(output)
+    if previous is None:
+        return None
     baseline = previous.get("baseline")
     return baseline if isinstance(baseline, dict) else None
+
+
+def _pr4_baseline(output: pathlib.Path) -> dict | None:
+    """Carry the PR 4 interpreted-replay numbers across runs.
+
+    Seeded from a schema-2 file's ``trace_replay`` section on the first
+    schema-3 regeneration, then preserved verbatim — so the kernel's
+    speedup over the pre-kernel replay loop stays visible no matter how
+    often the file is regenerated.
+    """
+    previous = _load_previous(output)
+    if previous is None:
+        return None
+    kernel = previous.get("kernel")
+    if isinstance(kernel, dict) and isinstance(
+            kernel.get("pr4_baseline"), dict):
+        return kernel["pr4_baseline"]
+    replay = previous.get("trace_replay")
+    if isinstance(replay, dict):
+        points = {
+            name: sample["replay_sim_ips"]
+            for name, sample in replay.items()
+            if isinstance(sample, dict) and sample.get("replay_sim_ips")}
+        if points:
+            return {
+                "label": "PR 4 interpreted trace replay",
+                "scale": previous.get("scale"),
+                "warmup": previous.get("warmup"),
+                "points": points,
+            }
+    return None
 
 
 def run_bench(*, scale: float = 1.0, warmup: int = 1000, repeats: int = 3,
@@ -255,6 +405,7 @@ def run_bench(*, scale: float = 1.0, warmup: int = 1000, repeats: int = 3,
     """Run the harness and write ``BENCH_perf.json``; returns the report."""
     output = repo_root() / "BENCH_perf.json" if output is None else output
     baseline = _load_baseline(output)
+    pr4 = _pr4_baseline(output)
 
     report: dict = {
         "schema": SCHEMA_VERSION,
@@ -291,6 +442,31 @@ def run_bench(*, scale: float = 1.0, warmup: int = 1000, repeats: int = 3,
                  f"{sample['live_sim_ips']:,.0f} "
                  f"({sample['replay_speedup']:.2f}x; record "
                  f"{sample['record_seconds']:.3f}s, results identical)")
+
+        report["kernel"] = {}
+        if pr4 is not None:
+            report["kernel"]["pr4_baseline"] = pr4
+        for benchmark, speculation in POINT_MATRIX:
+            if speculation != "redirect":
+                continue  # the kernel only exists for redirect points
+            sample = measure_kernel_replay(benchmark, scale=scale,
+                                           warmup=warmup, repeats=repeats)
+            if (pr4 is not None and pr4.get("scale") == scale
+                    and pr4.get("warmup") == warmup):
+                base = pr4.get("points", {}).get(benchmark)
+                if base:
+                    sample["kernel_vs_pr4_replay"] = round(
+                        sample["kernel_sim_ips"] / base, 3)
+            report["kernel"][benchmark] = sample
+            echo(f"{benchmark} kernel replay: "
+                 f"{sample['kernel_sim_ips']:,.0f} sim-inst/s vs "
+                 f"interpreted {sample['interpreted_sim_ips']:,.0f} "
+                 f"({sample['kernel_vs_interpreted']:.2f}x) vs live "
+                 f"{sample['live_sim_ips']:,.0f} "
+                 f"({sample['kernel_vs_live']:.2f}x; lower "
+                 f"{sample['phases']['lower_seconds']:.3f}s, results "
+                 "identical)")
+
         grid = measure_grid_trace(scale=scale, warmup=warmup, jobs=jobs)
         report["grid_trace"] = grid
         echo(f"grid trace sharing ({grid['points']} {GRID_BENCHMARK} "
@@ -325,6 +501,13 @@ def run_bench(*, scale: float = 1.0, warmup: int = 1000, repeats: int = 3,
                 if base and base.get("sim_ips"):
                     speedups[f"{benchmark}/redirect via trace replay"] = (
                         round(sample["replay_sim_ips"] / base["sim_ips"], 3))
+            for benchmark, sample in report.get("kernel", {}).items():
+                if benchmark == "pr4_baseline":
+                    continue
+                base = baseline.get("points", {}).get(f"{benchmark}/redirect")
+                if base and base.get("sim_ips"):
+                    speedups[f"{benchmark}/redirect via kernel replay"] = (
+                        round(sample["kernel_sim_ips"] / base["sim_ips"], 3))
             report["speedup_vs_baseline"] = speedups
             for key, ratio in speedups.items():
                 echo(f"{key}: {ratio:.2f}x vs baseline "

@@ -120,6 +120,35 @@ def _relayable_exception(exc: Exception) -> Exception:
         return replacement
 
 
+def _maybe_prelower(point: ExperimentPoint, trace) -> bool:
+    """Pay a batch's one-time trace-lowering cost up front, observably.
+
+    Returns True only when the compiled kernel applies to this point
+    (redirect ``baseline`` replaying a trace, ``REPRO_KERNEL`` on) *and*
+    the lowering pass actually ran now; the caller then reports it as a
+    :data:`~repro.pipeline.kernel.LOWER_TICK` progress tick, which the
+    scheduler turns into a ``phase="lower"`` event — so the first point
+    of a batch never looks stalled behind the lowering pass.  Any
+    failure here is deferred: the point itself will surface it.
+    """
+    from repro.experiments.tracing import kernel_mode
+    from repro.pipeline.kernel import ensure_lowered, is_lowered
+    from repro.workloads.registry import get_program
+
+    if (trace is None or point.speculation != "redirect"
+            or point.configuration != "baseline" or not kernel_mode()):
+        return False
+    try:
+        program = get_program(point.benchmark, scale=point.scale,
+                              seed=point.seed)
+        if is_lowered(trace, program):
+            return False
+        ensure_lowered(program, trace)
+    except Exception:  # noqa: BLE001 - execute_point reports it per point
+        return False
+    return True
+
+
 def _compute_batch(points: tuple[ExperimentPoint, ...],
                    batch_id: str | None = None,
                    ticker=None) -> list[tuple]:
@@ -136,15 +165,27 @@ def _compute_batch(points: tuple[ExperimentPoint, ...],
 
     ``ticker`` (a manager queue) receives ``(batch_id, index)`` after
     each completed point so the parent can stream per-point progress
-    while the batch is still running.
+    while the batch is still running — plus one ``(batch_id,
+    LOWER_TICK)`` when the batch pays the kernel's one-time
+    trace-lowering cost.
     """
     from repro.experiments.runner import execute_point
     from repro.experiments.tracing import SharedTraces
+    from repro.pipeline.kernel import LOWER_TICK
     traces = SharedTraces(points)
     entries: list[tuple] = []
+    lower_ticked = False
     for index, point in enumerate(points):
+        point_trace = traces.get(point)
+        if (not lower_ticked and ticker is not None
+                and _maybe_prelower(point, point_trace)):
+            lower_ticked = True
+            try:
+                ticker.put((batch_id, LOWER_TICK))
+            except Exception:  # noqa: BLE001 - a dead manager must not
+                ticker = None  # take the batch's results down with it
         try:
-            result = execute_point(point, trace=traces.get(point))
+            result = execute_point(point, trace=point_trace)
         except Exception as exc:  # noqa: BLE001 - relayed to the parent
             entries.append(("error", _relayable_exception(exc)))
             continue
@@ -259,14 +300,20 @@ class SerialBackend(ExecutionBackend):
                 jobs: int) -> None:
         from repro.experiments.runner import execute_point
         from repro.experiments.tracing import SharedTraces
+        from repro.pipeline.kernel import LOWER_TICK
 
         traces = SharedTraces(
             [point for group in batches.values() for point in group])
         for batch_id, group in batches.items():
+            lower_ticked = False
             for index, point in enumerate(group):
+                point_trace = traces.get(point)
+                if not lower_ticked and _maybe_prelower(point, point_trace):
+                    lower_ticked = True
+                    report.tick(batch_id, LOWER_TICK)
                 try:
                     payload = execute_point(
-                        point, trace=traces.get(point)).to_dict()
+                        point, trace=point_trace).to_dict()
                 except Exception as exc:  # noqa: BLE001 - surfaced per point
                     report.fail(batch_id, index, exc)
                     continue
@@ -372,7 +419,9 @@ class QueueBackend(ExecutionBackend):
     grid's trace policy recorded one, so remote ``redirect`` batches
     replay a single parent-side functional run instead of re-running the
     interpreter per host (``trace_source`` in each result records what
-    the worker actually used: ``shipped`` / ``local`` / ``live``).
+    the worker actually used: ``shipped`` / ``local`` / ``live``; the
+    sibling ``kernel_source`` records how replays ran: ``kernel`` /
+    ``interpreted`` / ``live`` — workers lower shipped traces locally).
 
     Fault model: a lease that stops heartbeating (crashed or wedged
     worker) or a result that fails its checksum re-queues the job, up to
@@ -419,6 +468,7 @@ class QueueBackend(ExecutionBackend):
         self.timeout = timeout
         # Per-execute observability (reset each run).
         self.trace_sources: dict[str, str] = {}
+        self.kernel_sources: dict[str, str] = {}
         self.requeues = 0
         self.corrupt_results = 0
         self.respawns = 0
@@ -480,6 +530,7 @@ class QueueBackend(ExecutionBackend):
     def execute(self, batches: Batches, report: BackendReport, *,
                 jobs: int) -> None:
         self.trace_sources = {}
+        self.kernel_sources = {}
         self.requeues = 0
         self.corrupt_results = 0
         self.respawns = 0
@@ -573,6 +624,8 @@ class QueueBackend(ExecutionBackend):
                     broker.remove(job_id)  # withdraw any requeued twin
                     self.trace_sources[job.batch_id] = payload.get(
                         "trace_source", "live")
+                    self.kernel_sources[job.batch_id] = payload.get(
+                        "kernel_source", "live")
                     for index, (status, item) in enumerate(entries):
                         if status == "ok":
                             report.deliver(job.batch_id, index, item)

@@ -29,9 +29,10 @@ from repro.experiments.plan import (
     default_warmup,
 )
 from repro.experiments.scheduler import ProgressCallback, run_plan
-from repro.experiments.tracing import load_or_record, trace_mode
+from repro.experiments.tracing import kernel_mode, load_or_record, trace_mode
 from repro.pipeline.config import machine_for_depth
 from repro.pipeline.engine import PipelineEngine, build_predictor
+from repro.pipeline.kernel import KernelUnsupported, kernel_run
 from repro.pipeline.stats import SimulationResult
 from repro.pipeline.trace import CommittedTrace, TraceReplayCore
 from repro.predictors.twolevel import LevelTwoKind
@@ -56,6 +57,7 @@ _VALUE_MODES = {
 
 def execute_point(point: ExperimentPoint, *,
                   trace: "CommittedTrace | bool | None" = None,
+                  info: dict | None = None,
                   ) -> SimulationResult:
     """Simulate one *resolved* point (no cache, no default resolution).
 
@@ -75,6 +77,15 @@ def execute_point(point: ExperimentPoint, *,
       environment (the perf harness measures the live path this way).
 
     ``wrongpath`` points always run the live core.
+
+    When a trace replays and the compiled kernel is on (``REPRO_KERNEL``,
+    :func:`~repro.experiments.tracing.kernel_mode`), configurations the
+    kernel can express (redirect ``baseline``) run as an array pass over
+    the lowered trace; anything it cannot express falls back to the
+    interpreted replay automatically.  ``info``, when given, reports
+    which path actually ran: ``info["kernel_source"]`` is ``"kernel"``,
+    ``"interpreted"`` or ``"live"`` (mirroring the backends'
+    ``trace_source``).
     """
     point.validate()
     if trace is not None and not isinstance(trace, CommittedTrace) \
@@ -91,6 +102,27 @@ def execute_point(point: ExperimentPoint, *,
     config = machine_for_depth(point.pipeline_depth,
                                speculation=point.speculation)
 
+    core = None
+    if point.speculation == "redirect" and trace is not False:
+        if trace is None and trace_mode() == "disk":
+            trace = load_or_record(point.benchmark, point.scale, point.seed)
+        if trace is not None:
+            if point.configuration == "baseline" and kernel_mode():
+                try:
+                    result = kernel_run(
+                        program, trace, config, LevelTwoKind.HYBRID,
+                        warmup_instructions=point.warmup)
+                except KernelUnsupported:
+                    pass  # fall back to the interpreted replay below
+                else:
+                    if info is not None:
+                        info["kernel_source"] = "kernel"
+                    result.configuration = point.configuration
+                    return result
+            core = TraceReplayCore(program, trace)
+    if info is not None:
+        info["kernel_source"] = "interpreted" if core is not None else "live"
+
     if point.configuration == "baseline":
         predictor = build_predictor(LevelTwoKind.HYBRID, config)
         mode = ValueMode.CURRENT
@@ -98,13 +130,6 @@ def execute_point(point: ExperimentPoint, *,
         predictor = build_predictor(LevelTwoKind.ARVI, config,
                                     point.arvi_config)
         mode = _VALUE_MODES[point.configuration]
-
-    core = None
-    if point.speculation == "redirect" and trace is not False:
-        if trace is None and trace_mode() == "disk":
-            trace = load_or_record(point.benchmark, point.scale, point.seed)
-        if trace is not None:
-            core = TraceReplayCore(program, trace)
 
     engine = PipelineEngine(program, config, predictor, value_mode=mode,
                             warmup_instructions=point.warmup, core=core)

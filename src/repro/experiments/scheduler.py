@@ -40,7 +40,9 @@ which path produced them (enforced by the cross-backend differential
 suite).
 
 Progress is streamed through an optional callback receiving one
-:class:`ProgressEvent` per completed point, in completion order.
+:class:`ProgressEvent` per completed point, in completion order (plus
+one ``phase="lower"`` event when a batch pays the one-time kernel
+trace-lowering cost, so the first point never looks stalled).
 Backends may report a point more than once (a queue batch that is
 retried after a worker crash re-runs from its start); the scheduler
 dedupes, so the callback still sees exactly one event per point with a
@@ -98,6 +100,10 @@ class ProgressEvent:
     elapsed: float            # seconds since run_plan started
     batch_id: str | None = None   # worker batch the point travelled in
     batch_size: int = 1           # points in that batch
+    #: "point" for a completed point; "lower" for a batch's one-time
+    #: trace-lowering pass (``point`` is then the batch's first point,
+    #: and ``completed`` does not advance — no point finished yet).
+    phase: str = "point"
 
 
 ProgressCallback = Callable[[ProgressEvent], None]
@@ -130,6 +136,14 @@ class _PlanReport:
             return
         self._ticked.add((batch_id, index))
         group = self._batches[batch_id]
+        if index < 0:
+            # Pseudo-tick (kernel.LOWER_TICK): the batch's one-time
+            # trace-lowering pass ran — report it as its own phase so
+            # the first point doesn't look stalled, without advancing
+            # the completed counter.
+            self._emit(group[0], self._source, batch_id, len(group),
+                       phase="lower")
+            return
         self._emit(group[index], self._source, batch_id, len(group))
 
     def deliver(self, batch_id: str, index: int, payload: dict) -> None:
@@ -174,15 +188,17 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
     done = 0
 
     def emit(point: ExperimentPoint, source: str,
-             batch_id: str | None = None, batch_size: int = 1) -> None:
+             batch_id: str | None = None, batch_size: int = 1,
+             phase: str = "point") -> None:
         nonlocal done
-        done += 1
+        if phase == "point":
+            done += 1
         if progress is not None:
             progress(ProgressEvent(
                 point=point, key=keys[point], completed=done,
                 total=len(plan), source=source,
                 elapsed=time.perf_counter() - started,
-                batch_id=batch_id, batch_size=batch_size))
+                batch_id=batch_id, batch_size=batch_size, phase=phase))
 
     pending: list[ExperimentPoint] = []
     for point in plan:

@@ -16,6 +16,10 @@ experiment service uses them and where recorded traces persist:
   code_fingerprint`), so editing the simulator or a workload strands
   stale traces under dead keys instead of replaying them; corrupted or
   truncated files are misses that trigger re-recording, never errors.
+* :func:`kernel_mode` — the ``REPRO_KERNEL`` knob: whether replays of a
+  committed trace go through the compiled array kernel
+  (:mod:`repro.pipeline.kernel`, default) or the interpreted engine
+  loop — results are bit-for-bit identical either way.
 * :class:`SharedTraces` — the per-batch/per-sweep pool.  Recording costs
   one functional run, so a trace is only recorded when it will amortize:
   at least two redirect points of the same workload identity
@@ -55,6 +59,20 @@ def trace_mode() -> str:
     if raw == "disk":
         return "disk"
     return "memory"
+
+
+def kernel_mode() -> bool:
+    """``REPRO_KERNEL`` -> whether the compiled replay kernel is on.
+
+    Default on: when a redirect ``baseline`` point replays a committed
+    trace, :func:`~repro.experiments.runner.execute_point` lowers the
+    trace (:mod:`repro.pipeline.kernel`) and evaluates the config as an
+    array pass instead of the interpreted engine loop — bit-for-bit
+    equal results, enforced by the equality suite and ``repro.bench``.
+    Set ``REPRO_KERNEL=0`` to force the interpreted path everywhere.
+    """
+    raw = os.environ.get("REPRO_KERNEL", "1").strip().lower()
+    return raw not in ("0", "false", "no", "off")
 
 
 def default_trace_dir() -> pathlib.Path:

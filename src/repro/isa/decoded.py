@@ -117,3 +117,49 @@ class DecodedProgram:
 
     def __getitem__(self, pc: int) -> DecodedInst:
         return self.insts[pc]
+
+    def static_columns(self) -> tuple[list[int], list[int], list[int],
+                                      list[int], list[int]]:
+        """Per-PC columns for the trace-lowering pass (pipeline.kernel).
+
+        Returns ``(kernel_class, src1, src2, writer, ras)``, one entry
+        per static PC, with ``-1`` for absent registers:
+
+        * ``kernel_class`` — the FU latency class, except conditional
+          branches (FU_ALU plus resolution) get their own class
+          ``KCLASS_BRANCH`` so the replay loop needs no second flag;
+        * ``src1`` / ``src2`` — the (up to two) source registers;
+        * ``writer`` — the renamable destination register, or ``-1``
+          (``needs_dest`` already excludes stores and r0 writes);
+        * ``ras`` — return-address-stack event: ``RAS_PUSH`` (JAL),
+          ``RAS_POP`` (JR), or 0 (JALR deliberately neither — it links
+          through the ALU and is predicted like any indirect jump).
+        """
+        kernel_class: list[int] = []
+        src1: list[int] = []
+        src2: list[int] = []
+        writer: list[int] = []
+        ras: list[int] = []
+        for d in self.insts:
+            kernel_class.append(
+                KCLASS_BRANCH if d.is_cond_branch else d.fu_class)
+            sources = d.sources
+            src1.append(sources[0] if len(sources) > 0 else -1)
+            src2.append(sources[1] if len(sources) > 1 else -1)
+            writer.append(d.rd if d.needs_dest else -1)
+            ras.append(RAS_PUSH if d.op == _OP_JAL
+                       else RAS_POP if d.op == _OP_JR else 0)
+        return kernel_class, src1, src2, writer, ras
+
+
+#: Kernel class for conditional branches in :meth:`DecodedProgram.
+#: static_columns` — FU classes 0-5 keep their values, branches split
+#: off from FU_ALU so the replay kernel dispatches on one code.
+KCLASS_BRANCH = 6
+
+#: RAS event codes in ``static_columns``' ``ras`` column.
+RAS_PUSH = 1
+RAS_POP = 2
+
+_OP_JAL = int(Op.JAL)
+_OP_JR = int(Op.JR)

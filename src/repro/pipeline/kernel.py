@@ -1,0 +1,657 @@
+"""Compiled replay kernel: lower a committed trace once, replay it fast.
+
+PR 4 records the committed instruction stream once per workload and
+replays it through the interpreted engine loop per timing configuration;
+this module removes the remaining per-instruction interpretation cost.
+A :class:`LoweredTrace` converts :class:`~repro.pipeline.trace.
+CommittedTrace` columns into dense per-instruction arrays plus
+precomputed metadata, **once per workload identity**, shared read-only
+by every redirect timing point of a batch:
+
+* a fused per-instruction *kernel class* (ALU / frontend-other / load /
+  store / mult / div / conditional branch, with an I-cache line-change
+  flag folded in),
+* dependence distances from a one-shot DDT-style last-writer pass
+  (``dep1``/``dep2`` name the producing *stream index* of each source
+  register — exactly what renamed physical-register readiness resolves
+  to in the engine, see DESIGN.md §10),
+* store-forwarding sources per memory op (the latest prior store to the
+  same word — the engine's ``pending_stores`` dict, precomputed),
+* ROB/LSQ occupancy metadata (memory-op stream positions, so the
+  occupancy heads are plain array lookups per config),
+* prefix sums for the measured-window load/store statistics, the RAS
+  accuracy stream, and per-predictor-kind branch decision streams (the
+  two-level gskew interplay is timing-independent, so its outcome
+  sequence is simulated once and shared across every config).
+
+:func:`kernel_run` then evaluates one timing configuration as a lean
+array pass over the lowered form: the same fetch/issue/commit arithmetic
+as :meth:`~repro.pipeline.engine.PipelineEngine.run`, stage for stage,
+minus everything that cannot affect a redirect-mode hybrid/none result
+(rename bookkeeping, DDT/RSE/shadow maintenance, per-branch predictor
+dispatch, DynInst materialization).  Results are **bit-for-bit equal**
+to the interpreted replay and to live execution — enforced by the
+equality suite (``tests/pipeline/test_kernel.py``) and by the hard
+gates in ``python -m repro.bench``.
+
+Fallback rules (DESIGN.md §10): anything the lowered form cannot
+express raises :class:`KernelUnsupported` and the caller falls back to
+the interpreted path — ARVI level 2 (its decisions read live DDT/timing
+state), ``wrongpath`` speculation (needs live architectural state), and
+non-standard predictor stacks.  A budget that would step past a
+truncated recording raises :class:`~repro.pipeline.trace.TraceError`,
+matching the interpreted replay core.  The selection knob is
+``REPRO_KERNEL`` (:func:`repro.experiments.tracing.kernel_mode`); which
+path actually ran is observable via the ``kernel_source`` field threaded
+through :func:`~repro.experiments.runner.execute_point`.
+
+numpy is optional: the lowering pass vectorizes with numpy when it is
+importable (``REPRO_KERNEL_NUMPY=0`` forces the fallback), and otherwise
+builds identical arrays with pure-Python loops — the per-config replay
+loop itself uses plain lists either way (CPython scalar indexing beats
+numpy scalar indexing on this access pattern), so results are identical
+with and without numpy.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from heapq import heappop, heappush
+
+from repro.isa.decoded import (
+    FU_ALU as K_ALU,
+    FU_DIV as K_DIV,
+    FU_LOAD as K_LOAD,
+    FU_MULT as K_MULT,
+    FU_OTHER as K_OTHER,
+    FU_STORE as K_STORE,
+    KCLASS_BRANCH as K_BRANCH,
+    RAS_PUSH,
+)
+from repro.isa.program import Program
+from repro.pipeline.caches import MemoryHierarchy
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.functional import DEFAULT_MAX_INSTRUCTIONS
+from repro.pipeline.stats import SimulationResult
+from repro.pipeline.trace import CommittedTrace, TraceError
+from repro.predictors.gskew import level1_gskew, level2_gskew
+from repro.predictors.twolevel import LevelTwoKind
+
+__all__ = [
+    "KernelUnsupported",
+    "LOWER_TICK",
+    "LoweredTrace",
+    "ensure_lowered",
+    "is_lowered",
+    "kernel_run",
+    "lowering_backend",
+]
+
+#: Pseudo point index backends tick when a batch pays the one-time
+#: lowering cost; the scheduler turns it into a ``phase="lower"``
+#: ProgressEvent instead of a completed point (negative so it can never
+#: collide with a real index — and it survives the queue's integer tick
+#: wire format).
+LOWER_TICK = -1
+
+#: Folded into the per-(line-mask) fused code when the instruction's
+#: fetch starts a new I-cache line (``code & 7`` recovers the kernel
+#: class — FU_* 0-5 plus KCLASS_BRANCH, see DecodedProgram.static_columns).
+_LINE_CHANGE = 8
+
+_REDIRECT_LATENCY = 1  # keep in sync with pipeline.engine
+
+_SUPPORTED_KINDS = (LevelTwoKind.HYBRID, LevelTwoKind.NONE)
+
+
+class KernelUnsupported(RuntimeError):
+    """The kernel cannot express this configuration; fall back to the
+    interpreted replay path (never silently diverge)."""
+
+
+def _numpy():
+    """The numpy module, or None (absent, or ``REPRO_KERNEL_NUMPY=0``)."""
+    if os.environ.get("REPRO_KERNEL_NUMPY", "1").strip().lower() in (
+            "0", "false", "no", "off"):
+        return None
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+def lowering_backend() -> str:
+    """Which lowering implementation a fresh pass would use."""
+    return "numpy" if _numpy() is not None else "python"
+
+
+class _BranchStreams:
+    """Per-predictor-kind branch decision streams and stat prefix sums.
+
+    The two-level hybrid's decisions depend only on the (pc, taken)
+    branch sequence — never on cycle timing — so one pass over the
+    recorded outcomes yields, for every branch *j* of the stream:
+    whether the final prediction was wrong (``bad``, a redirect), and
+    whether level 2 overrode level 1 (``override``, a fetch bubble on a
+    correct final prediction).  The cumulative arrays turn the engine's
+    measured-window branch statistics into prefix-sum differences.
+    """
+
+    __slots__ = ("bad", "override", "cum_final", "cum_l1", "cum_override",
+                 "cum_helpful", "cum_harmful")
+
+    def __init__(self, bpcs: list[int], btaken: list[bool],
+                 kind: LevelTwoKind) -> None:
+        hybrid = kind is LevelTwoKind.HYBRID
+        level1 = level1_gskew()
+        level2 = level2_gskew() if hybrid else None
+        bad: list[bool] = []
+        override: list[bool] = []
+        cf = [0]
+        cl1 = [0]
+        cov = [0]
+        chp = [0]
+        chm = [0]
+        for pc, taken in zip(bpcs, btaken):
+            l1_pred = level1.predict(pc)
+            if hybrid:
+                l2_pred = level2.predict(pc)
+                used = l2_pred != l1_pred
+                final = l2_pred if used else l1_pred
+            else:
+                used = False
+                final = l1_pred
+            final_correct = final == taken
+            l1_correct = l1_pred == taken
+            bad.append(not final_correct)
+            override.append(used)
+            cf.append(cf[-1] + final_correct)
+            cl1.append(cl1[-1] + l1_correct)
+            cov.append(cov[-1] + used)
+            chp.append(chp[-1] + (used and final_correct and not l1_correct))
+            chm.append(chm[-1] + (used and l1_correct and not final_correct))
+            level1.update(pc, taken)
+            if hybrid:
+                level2.update(pc, taken)
+        self.bad = bad
+        self.override = override
+        self.cum_final = cf
+        self.cum_l1 = cl1
+        self.cum_override = cov
+        self.cum_helpful = chp
+        self.cum_harmful = chm
+
+
+class LoweredTrace:
+    """Dense array form of one committed trace, shared across configs."""
+
+    __slots__ = (
+        "program", "trace", "length", "backend",
+        "kclass", "byte_pcs", "dep1", "dep2",
+        "mem_pos", "mem_addr", "store_dep",
+        "load_prefix", "store_prefix",
+        "branch_pos", "branch_pcs", "branch_taken",
+        "jr_pos", "jr_correct_cum",
+        "_np", "_kclass_np", "_byte_np", "_codes", "_streams",
+    )
+
+    # -- derived caches ------------------------------------------------------
+
+    def codes_for(self, line_mask: int) -> list[int]:
+        """Fused class+line-change codes for one I-cache line mask."""
+        codes = self._codes.get(line_mask)
+        if codes is not None:
+            return codes
+        np = self._np
+        if np is not None:
+            lines = self._byte_np & line_mask
+            change = np.empty(self.length, dtype=bool)
+            if self.length:
+                change[0] = True  # last fetch line starts at -1
+                change[1:] = lines[1:] != lines[:-1]
+            codes = (self._kclass_np
+                     | (change.astype(np.int64) << 3)).tolist()
+        else:
+            codes = list(self.kclass)
+            last = -1
+            byte_pcs = self.byte_pcs
+            for i in range(self.length):
+                line = byte_pcs[i] & line_mask
+                if line != last:
+                    last = line
+                    codes[i] |= _LINE_CHANGE
+        self._codes[line_mask] = codes
+        return codes
+
+    def streams_for(self, kind: LevelTwoKind) -> _BranchStreams:
+        """Branch decision streams for one level-2 kind (cached)."""
+        streams = self._streams.get(kind)
+        if streams is None:
+            if kind not in _SUPPORTED_KINDS:
+                raise KernelUnsupported(
+                    f"the replay kernel cannot express level-2 kind "
+                    f"{kind.value!r}: its decisions read live DDT/timing "
+                    "state; use the interpreted path")
+            streams = _BranchStreams(self.branch_pcs, self.branch_taken,
+                                     kind)
+            self._streams[kind] = streams
+        return streams
+
+
+def _lower(program: Program, trace: CommittedTrace) -> LoweredTrace:
+    trace.validate_for(program)
+    np = _numpy()
+    cls_tab, src1_tab, src2_tab, wr_tab, ras_tab = \
+        program.decoded().static_columns()
+    n = trace.length
+    branches = trace.branch_count
+    pcs_list = trace.pcs.tolist()
+
+    lowered = LoweredTrace.__new__(LoweredTrace)
+    lowered.program = program
+    lowered.trace = trace
+    lowered.length = n
+    lowered._codes = {}
+    lowered._streams = {}
+
+    if np is not None:
+        lowered.backend = "numpy"
+        pcs_np = np.array(pcs_list, dtype=np.int64)
+        kclass_np = np.array(cls_tab, dtype=np.int64)[pcs_np] \
+            if n else np.zeros(0, dtype=np.int64)
+        byte_np = pcs_np * 4
+        is_load = kclass_np == K_LOAD
+        is_store = kclass_np == K_STORE
+        lowered._np = np
+        lowered._kclass_np = kclass_np
+        lowered._byte_np = byte_np
+        lowered.kclass = kclass_np.tolist()
+        lowered.byte_pcs = byte_np.tolist()
+        lowered.load_prefix = np.concatenate(
+            ([0], np.cumsum(is_load))).tolist()
+        lowered.store_prefix = np.concatenate(
+            ([0], np.cumsum(is_store))).tolist()
+        lowered.mem_pos = np.nonzero(is_load | is_store)[0].tolist()
+        branch_idx = np.nonzero(kclass_np == K_BRANCH)[0]
+        lowered.branch_pos = branch_idx.tolist()
+        lowered.branch_pcs = pcs_np[branch_idx].tolist()
+        if branches:
+            bits = np.frombuffer(trace.taken_bits, dtype=np.uint8)
+            lowered.branch_taken = np.unpackbits(
+                bits, bitorder="little")[:branches].astype(bool).tolist()
+        else:
+            lowered.branch_taken = []
+        ras_hits = np.array(ras_tab, dtype=np.int64)[pcs_np] \
+            if n else np.zeros(0, dtype=np.int64)
+        ras_events = np.nonzero(ras_hits)[0].tolist()
+    else:
+        lowered.backend = "python"
+        lowered._np = None
+        lowered._kclass_np = None
+        lowered._byte_np = None
+        kclass = [cls_tab[pc] for pc in pcs_list]
+        lowered.kclass = kclass
+        lowered.byte_pcs = [pc * 4 for pc in pcs_list]
+        load_prefix = [0] * (n + 1)
+        store_prefix = [0] * (n + 1)
+        mem_pos: list[int] = []
+        branch_pos: list[int] = []
+        branch_pcs: list[int] = []
+        loads = stores = 0
+        for i, k in enumerate(kclass):
+            if k == K_LOAD:
+                loads += 1
+                mem_pos.append(i)
+            elif k == K_STORE:
+                stores += 1
+                mem_pos.append(i)
+            elif k == K_BRANCH:
+                branch_pos.append(i)
+                branch_pcs.append(pcs_list[i])
+            load_prefix[i + 1] = loads
+            store_prefix[i + 1] = stores
+        lowered.load_prefix = load_prefix
+        lowered.store_prefix = store_prefix
+        lowered.mem_pos = mem_pos
+        lowered.branch_pos = branch_pos
+        lowered.branch_pcs = branch_pcs
+        taken_bits = trace.taken_bits
+        lowered.branch_taken = [
+            bool((taken_bits[j >> 3] >> (j & 7)) & 1)
+            for j in range(branches)]
+        ras_events = [i for i, pc in enumerate(pcs_list) if ras_tab[pc]]
+
+    if (len(lowered.branch_pos) != branches
+            or len(lowered.mem_pos) != len(trace.addrs)):
+        raise TraceError(
+            f"trace of {trace.program_name!r} is internally inconsistent "
+            "(column lengths do not match the stream)")
+
+    # One-shot DDT-style dependence pass: each source register resolves
+    # to the stream index of its last prior writer (the instruction whose
+    # physical destination register the engine's rename map would read).
+    dep1 = [-1] * n
+    dep2 = [-1] * n
+    last_writer = [-1] * 32
+    for i, pc in enumerate(pcs_list):
+        src = src1_tab[pc]
+        if src >= 0:
+            dep1[i] = last_writer[src]
+        src = src2_tab[pc]
+        if src >= 0:
+            dep2[i] = last_writer[src]
+        dest = wr_tab[pc]
+        if dest >= 0:
+            last_writer[dest] = i
+    lowered.dep1 = dep1
+    lowered.dep2 = dep2
+
+    # Store-forwarding sources: for each load, the stream index of the
+    # latest prior store to the same word — the engine's never-cleared
+    # ``pending_stores`` dict, resolved ahead of time.
+    mem_addr = trace.addrs.tolist()
+    lowered.mem_addr = mem_addr
+    kclass = lowered.kclass
+    store_dep = [-1] * len(mem_addr)
+    last_store: dict[int, int] = {}
+    for m, pos in enumerate(lowered.mem_pos):
+        word = mem_addr[m] & ~3
+        if kclass[pos] == K_LOAD:
+            store_dep[m] = last_store.get(word, -1)
+        else:
+            last_store[word] = pos
+    lowered.store_dep = store_dep
+
+    # Return-address-stack accuracy stream (depth 16, circular overwrite
+    # on overflow, underflow pops count as incorrect — predictors/ras.py
+    # semantics).  The stack evolves forward only, so every prefix of
+    # the stream is valid for budget-truncated replays.
+    jr_pos: list[int] = []
+    jr_correct_cum = [0]
+    stack: list[int] = []
+    final_next_pc = trace.final_next_pc
+    for pos in ras_events:
+        pc = pcs_list[pos]
+        if ras_tab[pc] == RAS_PUSH:
+            if len(stack) >= 16:
+                stack.pop(0)
+            stack.append(pc + 1)
+        else:
+            target = pcs_list[pos + 1] if pos + 1 < n else final_next_pc
+            correct = bool(stack) and stack.pop() == target
+            jr_pos.append(pos)
+            jr_correct_cum.append(jr_correct_cum[-1] + correct)
+    lowered.jr_pos = jr_pos
+    lowered.jr_correct_cum = jr_correct_cum
+    return lowered
+
+
+def is_lowered(trace: CommittedTrace, program: Program | None = None) -> bool:
+    """Whether ``trace`` already carries a (matching) lowered form."""
+    cached = trace._lowered_cache
+    if cached is None:
+        return False
+    return program is None or cached.program is program
+
+
+def ensure_lowered(program: Program, trace: CommittedTrace) -> LoweredTrace:
+    """Lower (and cache) ``trace`` for ``program``.
+
+    Like :meth:`CommittedTrace.materialize`, the lowered form is built
+    once per (trace, program) pair and shared read-only by every replay
+    of the trace — a batch of redirect timing points pays the lowering
+    cost exactly once per workload identity.
+    """
+    cached = trace._lowered_cache
+    if cached is not None and cached.program is program:
+        return cached
+    lowered = _lower(program, trace)
+    trace._lowered_cache = lowered
+    return lowered
+
+
+def kernel_run(program: Program, trace: CommittedTrace,
+               config: MachineConfig,
+               kind: LevelTwoKind = LevelTwoKind.HYBRID, *,
+               warmup_instructions: int = 0,
+               max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+               ) -> SimulationResult:
+    """Replay one timing configuration over the lowered trace.
+
+    Produces a :class:`SimulationResult` bit-for-bit equal to
+    ``PipelineEngine(program, config, build_predictor(kind, config),
+    warmup_instructions=..., core=TraceReplayCore(program,
+    trace)).run(max_instructions)`` for every supported configuration;
+    raises :class:`KernelUnsupported` for anything else.  The memory
+    hierarchy runs live, in the engine's exact access order — the
+    shared L2 couples I-side and D-side state, and store-forwarding
+    outcomes depend on per-config timing, so cache latencies cannot be
+    precomputed.
+    """
+    if config.speculation != "redirect":
+        raise KernelUnsupported(
+            "the replay kernel models redirect speculation only; "
+            "wrongpath synthesis reads live architectural state")
+    if kind not in _SUPPORTED_KINDS:
+        raise KernelUnsupported(
+            f"the replay kernel cannot express level-2 kind "
+            f"{kind.value!r}: its decisions read live DDT/timing state")
+    lowered = ensure_lowered(program, trace)
+    streams = lowered.streams_for(kind)
+    n = lowered.length
+    if max_instructions > n and not trace.halted:
+        # Mirror TraceReplayCore.step: a budget past a truncated
+        # recording is an error, never a silently shorter run.
+        raise TraceError(
+            f"trace of {trace.program_name!r} exhausted at instruction "
+            f"{n}: it was truncated at max_instructions="
+            f"{trace.max_instructions}; use a live FunctionalCore or "
+            "record a longer trace")
+    n_run = n if n < max_instructions else max_instructions
+    if n_run < 0:
+        n_run = 0
+
+    memory = MemoryHierarchy(config)
+
+    # ---- hot locals (mirrors the engine's fused loop) ---------------------
+    codes = lowered.codes_for(~(config.icache.line_bytes - 1))
+    byte_pcs = lowered.byte_pcs
+    dep1 = lowered.dep1
+    dep2 = lowered.dep2
+    mem_pos = lowered.mem_pos
+    mem_addr = lowered.mem_addr
+    store_dep = lowered.store_dep
+    branch_bad = streams.bad
+    branch_override = streams.override
+    mem_ilat = memory.instruction_latency
+    mem_dlat = memory.data_latency
+    icache_hit_latency = config.icache.hit_latency
+    frontend_depth = config.frontend_depth
+    fetch_width = config.fetch_width
+    commit_width = config.commit_width
+    rob_capacity = config.rob_entries
+    lsq_capacity = config.lsq_entries
+    alu_latency = config.alu_latency
+    mult_latency = config.mult_latency
+    div_latency = config.div_latency
+    if kind is LevelTwoKind.HYBRID:
+        override_redirect = config.predictor_latencies.level2_hybrid + 1
+    else:
+        override_redirect = 1  # unreachable: NONE never overrides
+    muldiv_scalar = config.int_muldiv == 1
+
+    complete_arr = [0] * n_run
+    commit_arr = [0] * n_run
+    alu_free = [0] * config.int_alus     # zeros are already a valid heap
+    dcache_free = [0] * config.dcache_ports
+    muldiv_free = 0
+    muldiv_heap = [0] * config.int_muldiv
+    fetch_barrier = 0
+    fetch_cycle = fetch_used = 0
+    commit_cycle = commit_used = 0
+    last_commit = 0
+    mem_i = 0
+    branch_i = 0
+
+    for i in range(n_run):
+        code = codes[i]
+        k = code & 7
+
+        # ---- fetch (barrier -> ROB -> LSQ -> I-cache -> bandwidth) --------
+        earliest = fetch_barrier
+        if i >= rob_capacity:
+            free_at = commit_arr[i - rob_capacity] + 1
+            if free_at > earliest:
+                earliest = free_at
+        if k == K_LOAD or k == K_STORE:
+            if mem_i >= lsq_capacity:
+                free_at = commit_arr[mem_pos[mem_i - lsq_capacity]] + 1
+                if free_at > earliest:
+                    earliest = free_at
+        if code & _LINE_CHANGE:
+            extra = mem_ilat(byte_pcs[i]) - icache_hit_latency
+            if extra > 0:
+                earliest += extra
+        if earliest > fetch_cycle:
+            fetch_cycle = earliest
+            fetch_used = 0
+        if fetch_used >= fetch_width:
+            fetch_cycle += 1
+            fetch_used = 0
+        fetch_used += 1
+        fetch = fetch_cycle
+
+        # ---- issue / execute ---------------------------------------------
+        ready = fetch + frontend_depth
+        dep = dep1[i]
+        if dep >= 0:
+            when = complete_arr[dep]
+            if when > ready:
+                ready = when
+        dep = dep2[i]
+        if dep >= 0:
+            when = complete_arr[dep]
+            if when > ready:
+                ready = when
+        if k == K_ALU or k == K_BRANCH:
+            server_free = heappop(alu_free)
+            issue = ready if ready >= server_free else server_free
+            heappush(alu_free, issue + 1)
+            complete = issue + alu_latency
+        elif k == K_LOAD:
+            server_free = heappop(alu_free)
+            issue = ready if ready >= server_free else server_free
+            heappush(alu_free, issue + 1)
+            agen1 = issue + 1
+            server_free = heappop(dcache_free)
+            access = agen1 if agen1 >= server_free else server_free
+            heappush(dcache_free, access + 1)
+            source = store_dep[mem_i]
+            if source >= 0 and commit_arr[source] > access:
+                data_ready = complete_arr[source]
+                complete = (access if access >= data_ready
+                            else data_ready) + 1
+            else:
+                complete = access + mem_dlat(mem_addr[mem_i])
+            mem_i += 1
+        elif k == K_STORE:
+            server_free = heappop(alu_free)
+            issue = ready if ready >= server_free else server_free
+            heappush(alu_free, issue + 1)
+            complete = issue + 1
+            mem_i += 1
+        elif k == K_OTHER:
+            server_free = heappop(alu_free)
+            issue = ready if ready >= server_free else server_free
+            heappush(alu_free, issue + 1)
+            complete = issue + 1
+        elif k == K_MULT:
+            if muldiv_scalar:
+                issue = ready if ready >= muldiv_free else muldiv_free
+                muldiv_free = issue + 1
+            else:
+                server_free = heappop(muldiv_heap)
+                issue = ready if ready >= server_free else server_free
+                heappush(muldiv_heap, issue + 1)
+            complete = issue + mult_latency
+        else:  # K_DIV (unpipelined)
+            if muldiv_scalar:
+                issue = ready if ready >= muldiv_free else muldiv_free
+                muldiv_free = issue + div_latency
+            else:
+                server_free = heappop(muldiv_heap)
+                issue = ready if ready >= server_free else server_free
+                heappush(muldiv_heap, issue + div_latency)
+            complete = issue + div_latency
+
+        # ---- commit -------------------------------------------------------
+        commit_req = complete + 1
+        if commit_req < last_commit:
+            commit_req = last_commit
+        if commit_req > commit_cycle:
+            commit_cycle = commit_req
+            commit_used = 0
+        if commit_used >= commit_width:
+            commit_cycle += 1
+            commit_used = 0
+        commit_used += 1
+        last_commit = commit_cycle
+        commit_arr[i] = last_commit
+        complete_arr[i] = complete
+
+        # ---- control flow resolution -------------------------------------
+        if k == K_BRANCH:
+            if branch_bad[branch_i]:
+                barrier = complete + _REDIRECT_LATENCY
+                if barrier > fetch_barrier:
+                    fetch_barrier = barrier
+            elif branch_override[branch_i]:
+                barrier = fetch + override_redirect
+                if barrier > fetch_barrier:
+                    fetch_barrier = barrier
+            branch_i += 1
+
+    # ---- statistics (measured window via prefix sums) ---------------------
+    warmup = warmup_instructions
+    result = SimulationResult(
+        benchmark=program.name,
+        configuration=f"2-level {kind.value}",
+        pipeline_depth=config.pipeline_depth,
+        warmup_instructions=warmup,
+        speculation=config.speculation,
+    )
+    measured_lo = warmup if warmup < n_run else n_run
+    result.loads = (lowered.load_prefix[n_run]
+                    - lowered.load_prefix[measured_lo])
+    result.stores = (lowered.store_prefix[n_run]
+                     - lowered.store_prefix[measured_lo])
+
+    branch_lo = bisect_left(lowered.branch_pos, measured_lo)
+    branch_hi = bisect_left(lowered.branch_pos, n_run)
+    result.cond_branches = branch_hi - branch_lo
+    result.final_correct = (streams.cum_final[branch_hi]
+                            - streams.cum_final[branch_lo])
+    result.l1_correct = (streams.cum_l1[branch_hi]
+                         - streams.cum_l1[branch_lo])
+    overrides = (streams.cum_override[branch_hi]
+                 - streams.cum_override[branch_lo])
+    result.overrides = overrides
+    result.l2_used = overrides  # hybrid uses L2 exactly when it overrides
+    result.overrides_helpful = (streams.cum_helpful[branch_hi]
+                                - streams.cum_helpful[branch_lo])
+    result.overrides_harmful = (streams.cum_harmful[branch_hi]
+                                - streams.cum_harmful[branch_lo])
+
+    result.total_instructions = n_run
+    result.total_cycles = last_commit
+    measured_start_cycle = commit_arr[warmup] if warmup < n_run else 0
+    result.instructions = max(n_run - warmup, 0)
+    result.cycles = max(last_commit - measured_start_cycle, 0)
+    result.memory = memory.stats()
+
+    pops = bisect_left(lowered.jr_pos, n_run)
+    correct_pops = lowered.jr_correct_cum[pops]
+    result.ras_accuracy = correct_pops / pops if pops else 1.0
+    return result

@@ -92,7 +92,7 @@ class CommittedTrace:
         "program_name", "static_length", "entry", "length", "pcs",
         "results", "taken_bits", "branch_count", "addrs", "store_values",
         "final_next_pc", "halted", "max_instructions",
-        "_dyn_cache", "_dyn_program",
+        "_dyn_cache", "_dyn_program", "_lowered_cache",
     )
 
     def __init__(self, *, program_name: str, static_length: int, entry: int,
@@ -118,6 +118,9 @@ class CommittedTrace:
         # a DynInst, so one stream drives any number of timing configs).
         self._dyn_cache: list[DynInst] | None = None
         self._dyn_program: Program | None = None
+        # Lowered array form (pipeline.kernel.LoweredTrace); like the
+        # DynInst cache, built once per (trace, program) pair.
+        self._lowered_cache = None
 
     # -- validation ----------------------------------------------------------
 

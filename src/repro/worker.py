@@ -45,11 +45,17 @@ import sys
 import time
 import traceback
 
+from repro.experiments.backends import _maybe_prelower
 from repro.experiments.broker import FileBroker, LeasedJob
 from repro.experiments.plan import ExperimentPoint
 from repro.experiments.runner import execute_point
 from repro.experiments.tracing import SharedTraces
+from repro.pipeline.kernel import LOWER_TICK
 from repro.pipeline.trace import CommittedTrace
+
+#: kernel_source aggregation: a job reports the "best" path any of its
+#: points took (mirrors trace_source, which likewise summarizes per job).
+_KERNEL_SOURCE_RANK = {"live": 0, "interpreted": 1, "kernel": 2}
 
 
 def _describe_exception(exc: Exception) -> dict:
@@ -106,6 +112,8 @@ def _run_job(broker: FileBroker, leased: LeasedJob,
         return
 
     trace_source = "shipped" if trace is not None else "live"
+    kernel_source = "live"
+    lower_ticked = False
     shared = SharedTraces(points) if trace is None else None
     entries: list[list] = []
     for index, point in enumerate(points):
@@ -115,11 +123,22 @@ def _run_job(broker: FileBroker, leased: LeasedJob,
             point_trace = shared.get(point)
             if point_trace is not None:
                 trace_source = "local"
+        if not lower_ticked and _maybe_prelower(point, point_trace):
+            # Shipped traces are lowered locally, once per job; the
+            # pseudo-tick shows up scheduler-side as a "lower" phase
+            # (and renews the lease like any other tick).
+            lower_ticked = True
+            broker.tick(job_id, LOWER_TICK)
+        info: dict = {}
         try:
-            result = execute_point(point, trace=point_trace)
+            result = execute_point(point, trace=point_trace, info=info)
         except Exception as exc:  # noqa: BLE001 - isolated per point
             entries.append(["error", _describe_exception(exc)])
             continue
+        point_source = info.get("kernel_source", "live")
+        if (_KERNEL_SOURCE_RANK.get(point_source, 0)
+                > _KERNEL_SOURCE_RANK[kernel_source]):
+            kernel_source = point_source
         entries.append(["ok", result.to_dict()])
         broker.tick(job_id, index)
         state.completed_points += 1
@@ -134,6 +153,7 @@ def _run_job(broker: FileBroker, leased: LeasedJob,
         "attempt": payload.get("attempt"),
         "entries": entries,
         "trace_source": trace_source,
+        "kernel_source": kernel_source,
         "worker": f"{os.getpid()}",
     }
     if state.corrupt_budget > 0:

@@ -330,6 +330,13 @@ class TestQueueBackendEndToEnd:
         # acceptance marker for cluster-shared functional runs.
         assert backend.trace_sources
         assert set(backend.trace_sources.values()) == {"shipped"}
+        # ...and workers lowered the shipped trace locally: batches with
+        # a baseline point report the compiled kernel, ARVI-only batches
+        # the interpreted replay — never "live".
+        assert set(backend.trace_sources) == set(backend.kernel_sources)
+        assert set(backend.kernel_sources.values()) <= {
+            "kernel", "interpreted"}
+        assert "kernel" in backend.kernel_sources.values()
 
     def test_worker_crash_mid_batch_recovers(self, serial_results):
         """Kill a worker mid-batch (fault injection): the lease expires,
@@ -345,11 +352,16 @@ class TestQueueBackendEndToEnd:
         assert backend.respawns >= 1          # and the worker was replaced
         # The satellite progress property: one event per point even
         # though the retried batch re-ran already-ticked points, with
-        # consistent batch metadata and a monotone completed counter.
+        # consistent batch metadata and a monotone completed counter
+        # (lower-phase pseudo-ticks are likewise deduped per batch and
+        # never advance the counter).
         plan = small_plan()
-        assert len(events) == len(plan)
-        assert {e.point for e in events} == set(plan)
-        assert [e.completed for e in events] == list(
+        point_events = [e for e in events if e.phase == "point"]
+        lower_events = [e for e in events if e.phase == "lower"]
+        assert len(point_events) + len(lower_events) == len(events)
+        assert len(point_events) == len(plan)
+        assert {e.point for e in point_events} == set(plan)
+        assert [e.completed for e in point_events] == list(
             range(1, len(plan) + 1))
         sizes = {}
         for event in events:
@@ -358,7 +370,10 @@ class TestQueueBackendEndToEnd:
             assert sizes.setdefault(event.batch_id, event.batch_size) \
                 == event.batch_size
         for batch_id, size in sizes.items():
-            assert sum(1 for e in events if e.batch_id == batch_id) == size
+            assert sum(1 for e in point_events
+                       if e.batch_id == batch_id) == size
+            assert sum(1 for e in lower_events
+                       if e.batch_id == batch_id) <= 1
 
     def test_corrupt_result_payload_is_retried(self, serial_results):
         """A result that fails its checksum is never delivered: the job

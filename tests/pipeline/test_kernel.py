@@ -1,0 +1,267 @@
+"""Compiled replay kernel (DESIGN.md §10).
+
+The hard invariant, mirroring the trace suite one level up: a kernel
+replay of a lowered committed trace is bit-for-bit equal (``==``) to the
+interpreted replay *and* to the live functional run, across workloads,
+predictor kinds, pipeline depths, warmups and replay budgets — with or
+without numpy.  Anything the kernel cannot express is a loud
+``KernelUnsupported`` (or ``TraceError`` for truncated recordings),
+never silent divergence; :func:`~repro.experiments.runner.execute_point`
+then falls back to the interpreted path and says so via
+``kernel_source``.
+"""
+
+import functools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arvi import ValueMode
+from repro.experiments.plan import ExperimentPoint, build_plan
+from repro.experiments.runner import execute_point
+from repro.experiments.scheduler import run_plan
+from repro.pipeline.config import machine_for_depth
+from repro.pipeline.engine import PipelineEngine, build_predictor
+from repro.pipeline.kernel import (
+    KernelUnsupported,
+    ensure_lowered,
+    is_lowered,
+    kernel_run,
+    lowering_backend,
+)
+from repro.pipeline.trace import TraceError, TraceReplayCore, record_trace
+from repro.predictors.twolevel import LevelTwoKind
+from repro.workloads.registry import get_program
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def program():
+    return get_program("m88ksim", scale=SCALE, seed=1)
+
+
+@pytest.fixture(scope="module")
+def trace(program):
+    return record_trace(program)
+
+
+def engine_result(program, *, core=None, kind=LevelTwoKind.HYBRID,
+                  depth=20, warmup=500, budget=None,
+                  speculation="redirect"):
+    config = machine_for_depth(depth, speculation=speculation)
+    predictor = build_predictor(kind, config)
+    engine = PipelineEngine(program, config, predictor,
+                            value_mode=ValueMode.CURRENT,
+                            warmup_instructions=warmup, core=core)
+    return engine.run() if budget is None else engine.run(budget)
+
+
+class TestEquality:
+    @pytest.mark.parametrize("kind", [LevelTwoKind.HYBRID,
+                                      LevelTwoKind.NONE])
+    @pytest.mark.parametrize("depth", [20, 60])
+    @pytest.mark.parametrize("warmup", [0, 500])
+    def test_kernel_equals_interpreted_equals_live(self, program, trace,
+                                                   kind, depth, warmup):
+        live = engine_result(program, kind=kind, depth=depth, warmup=warmup)
+        interpreted = engine_result(
+            program, core=TraceReplayCore(program, trace), kind=kind,
+            depth=depth, warmup=warmup)
+        kernel = kernel_run(program, trace, machine_for_depth(depth), kind,
+                            warmup_instructions=warmup)
+        assert interpreted == live
+        assert kernel == interpreted
+
+    @pytest.mark.parametrize("workload", ["compress", "li"])
+    def test_other_workloads(self, workload):
+        program = get_program(workload, scale=0.02, seed=1)
+        trace = record_trace(program)
+        interpreted = engine_result(
+            program, core=TraceReplayCore(program, trace), warmup=100)
+        kernel = kernel_run(program, trace, machine_for_depth(20),
+                            warmup_instructions=100)
+        assert kernel == interpreted == engine_result(program, warmup=100)
+
+    def test_lowered_form_is_shared_across_configs(self, program, trace):
+        lowered = ensure_lowered(program, trace)
+        assert is_lowered(trace, program)
+        assert ensure_lowered(program, trace) is lowered
+        for depth in (20, 40, 60):
+            kernel_run(program, trace, machine_for_depth(depth))
+        assert ensure_lowered(program, trace) is lowered
+
+
+@functools.lru_cache(maxsize=1)
+def _small():
+    """A small (program, trace) pair the budget property replays
+    (built once; hypothesis forbids function-scoped fixtures)."""
+    program = get_program("li", scale=0.01, seed=1)
+    return program, record_trace(program)
+
+
+class TestBudgetProperty:
+    """Kernel == interpreted at *every* replay budget and warmup — the
+    truncation arithmetic (prefix sums, bisected branch windows, RAS
+    pops) must agree with the engine cutting off mid-stream."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_kernel_matches_interpreted_at_any_budget(self, data):
+        program, trace = _small()
+        budget = data.draw(st.integers(0, trace.length), label="budget")
+        warmup = data.draw(st.integers(0, 60), label="warmup")
+        depth = data.draw(st.sampled_from([20, 40, 60]), label="depth")
+        interpreted = engine_result(
+            program, core=TraceReplayCore(program, trace), depth=depth,
+            warmup=warmup, budget=budget)
+        kernel = kernel_run(program, trace, machine_for_depth(depth),
+                            warmup_instructions=warmup,
+                            max_instructions=budget)
+        assert kernel == interpreted
+
+
+class TestFallback:
+    def test_wrongpath_is_unsupported(self, program, trace):
+        with pytest.raises(KernelUnsupported, match="redirect"):
+            kernel_run(program, trace,
+                       machine_for_depth(20, speculation="wrongpath"))
+
+    def test_arvi_level2_is_unsupported(self, program, trace):
+        with pytest.raises(KernelUnsupported, match="arvi"):
+            kernel_run(program, trace, machine_for_depth(20),
+                       LevelTwoKind.ARVI)
+
+    def test_truncated_trace_raises_instead_of_diverging(self, program):
+        short = record_trace(program, max_instructions=50)
+        with pytest.raises(TraceError, match="exhausted"):
+            kernel_run(program, short, machine_for_depth(20))
+
+    def test_budget_truncated_recording_replays_within_budget(self,
+                                                              program):
+        short = record_trace(program, max_instructions=50)
+        interpreted = engine_result(
+            program, core=TraceReplayCore(program, short), warmup=0,
+            budget=50)
+        kernel = kernel_run(program, short, machine_for_depth(20),
+                            warmup_instructions=0, max_instructions=50)
+        assert kernel == interpreted
+
+    def test_wrong_program_rejected(self, trace):
+        other = get_program("compress", scale=SCALE, seed=1)
+        with pytest.raises(TraceError, match="does not match"):
+            kernel_run(other, trace, machine_for_depth(20))
+
+
+class TestNumpyFallback:
+    """numpy is optional: the pure-Python lowering pass must produce the
+    exact same lowered form (and therefore the exact same results)."""
+
+    def test_forced_fallback_matches(self, program, monkeypatch):
+        fresh = record_trace(program)
+        with_numpy_available = lowering_backend()
+        monkeypatch.setenv("REPRO_KERNEL_NUMPY", "0")
+        assert lowering_backend() == "python"
+        lowered = ensure_lowered(program, fresh)
+        assert lowered.backend == "python"
+        pure = kernel_run(program, fresh, machine_for_depth(40),
+                          warmup_instructions=500)
+        monkeypatch.delenv("REPRO_KERNEL_NUMPY")
+        assert lowering_backend() == with_numpy_available
+        # Against a numpy-lowered (or, numpy absent, independently
+        # lowered) fresh trace *and* the interpreted replay.
+        second = record_trace(program)
+        assert pure == kernel_run(program, second, machine_for_depth(40),
+                                  warmup_instructions=500)
+        assert pure == engine_result(
+            program, core=TraceReplayCore(program, second), depth=40)
+
+    def test_lowered_arrays_identical_across_backends(self, program,
+                                                      monkeypatch):
+        with_numpy = ensure_lowered(program, record_trace(program))
+        monkeypatch.setenv("REPRO_KERNEL_NUMPY", "0")
+        pure = ensure_lowered(program, record_trace(program))
+        for field in ("kclass", "byte_pcs", "dep1", "dep2", "mem_pos",
+                      "mem_addr", "store_dep", "load_prefix",
+                      "store_prefix", "branch_pos", "branch_pcs",
+                      "branch_taken", "jr_pos", "jr_correct_cum"):
+            assert getattr(with_numpy, field) == getattr(pure, field), field
+        mask = ~(machine_for_depth(20).icache.line_bytes - 1)
+        assert with_numpy.codes_for(mask) == pure.codes_for(mask)
+
+
+class TestExecutePoint:
+    """The REPRO_KERNEL knob and the kernel_source observability."""
+
+    def _point(self, **overrides):
+        fields = dict(benchmark="m88ksim", configuration="baseline",
+                      pipeline_depth=40, scale=SCALE, warmup=500)
+        fields.update(overrides)
+        return ExperimentPoint(**fields).resolve()
+
+    def test_kernel_on_off_equality_and_source(self, program, trace,
+                                               monkeypatch):
+        point = self._point()
+        info_on, info_off = {}, {}
+        on = execute_point(point, trace=trace, info=info_on)
+        monkeypatch.setenv("REPRO_KERNEL", "0")
+        off = execute_point(point, trace=trace, info=info_off)
+        assert on == off
+        assert info_on["kernel_source"] == "kernel"
+        assert info_off["kernel_source"] == "interpreted"
+
+    def test_live_points_report_live(self, trace):
+        info = {}
+        execute_point(self._point(), trace=False, info=info)
+        assert info["kernel_source"] == "live"
+
+    def test_arvi_configuration_falls_back_to_interpreted(self, trace):
+        info = {}
+        arvi = execute_point(self._point(configuration="current"),
+                             trace=trace, info=info)
+        assert info["kernel_source"] == "interpreted"
+        assert arvi == execute_point(self._point(configuration="current"),
+                                     trace=False)
+
+    def test_wrongpath_points_stay_live(self):
+        info = {}
+        execute_point(self._point(benchmark="li", scale=0.01, warmup=50,
+                                  speculation="wrongpath"), info=info)
+        assert info["kernel_source"] == "live"
+
+
+class TestProgressPhase:
+    """The scheduler satellite: one-time lowering is its own
+    ``phase="lower"`` event and never advances the completed counter."""
+
+    def _run(self, events):
+        plan = build_plan(("baseline",), (20, 40, 60), ("li",),
+                          scale=0.01, warmup=50)
+        results = run_plan(plan, jobs=1, use_cache=False, batch=True,
+                           backend="serial", progress=events.append)
+        return plan, results
+
+    def test_lowering_is_its_own_phase(self):
+        events = []
+        plan, results = self._run(events)
+        assert len(results) == len(plan)
+        lower = [e for e in events if e.phase == "lower"]
+        points = [e for e in events if e.phase == "point"]
+        assert len(lower) == 1            # one workload identity -> once
+        assert len(points) == len(plan)
+        # The lower event precedes every completed point of its batch
+        # and does not advance the counter.
+        assert events.index(lower[0]) < min(
+            events.index(e) for e in points
+            if e.batch_id == lower[0].batch_id)
+        assert lower[0].completed == 0
+        assert [e.completed for e in points] == list(
+            range(1, len(plan) + 1))
+
+    def test_no_lower_phase_with_kernel_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "0")
+        events = []
+        plan, results = self._run(events)
+        assert len(results) == len(plan)
+        assert [e.phase for e in events] == ["point"] * len(plan)
