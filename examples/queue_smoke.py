@@ -6,8 +6,10 @@ twice — once on the serial backend, once on the queue backend with two
 and asserts the results are bit-for-bit equal (``==``).  Also asserts
 that every redirect batch reached its worker with a *shipped* committed
 trace (the cluster shares one functional run per workload) while
-wrongpath batches ran live.  CI runs this at ``REPRO_SCALE=0.05`` as the
-queue-backend gate; locally::
+wrongpath batches ran live.  CI runs this at ``REPRO_SCALE=0.05`` with
+``REPRO_OBS=1`` as the queue-backend gate — each run then writes a
+merged telemetry ledger (DESIGN.md §11) that CI schema-validates with
+``python -m repro.obs validate`` and uploads as an artifact; locally::
 
     REPRO_SCALE=0.05 python examples/queue_smoke.py
 """

@@ -26,7 +26,11 @@ is tracked from PR 3 onward:
   batching, once per-point — to track the scheduling-overhead win;
 * **grid trace amortization**: a redirect configuration x depth grid run
   with trace sharing on vs off (``REPRO_TRACE``), tracking the
-  batch-amortized record-once/replay-many win.
+  batch-amortized record-once/replay-many win;
+* **telemetry overhead** (DESIGN.md §11): the same live point with the
+  flight recorder off vs on (``REPRO_OBS=1`` + default-period interval
+  sampling) — results must stay bit-for-bit identical, and the relative
+  overhead is gated (``--obs-gate``, default <3%) in the perf smoke.
 
 Results are written to ``BENCH_perf.json`` at the repository root.  The
 file carries a ``baseline`` section (the pre-optimization seed numbers,
@@ -55,9 +59,12 @@ from repro.pipeline.trace import TraceRecorder
 from repro.predictors.twolevel import LevelTwoKind
 from repro.workloads.registry import get_program
 
-#: v3: kernel section with per-phase timing + carried PR 4 baseline
-#: (PR 6); v2 added trace_replay + grid_trace (PR 4).
-SCHEMA_VERSION = 3
+#: v4: kernel phase timings sourced from ``execute_point``'s
+#: ``info["phase_seconds"]`` (the same clocks that feed telemetry
+#: spans) + ``observability`` overhead section with its CI gate (PR 7);
+#: v3 added the kernel section + carried PR 4 baseline (PR 6); v2 added
+#: trace_replay + grid_trace (PR 4).
+SCHEMA_VERSION = 4
 
 #: Single-point measurements: (benchmark, speculation mode).
 POINT_MATRIX = (
@@ -176,6 +183,11 @@ def measure_kernel_replay(benchmark: str, *, scale: float, warmup: int,
     *asserts* the kernel result is bit-for-bit equal to both the
     interpreted replay and the live run: the PR 6 correctness gate
     mirroring PR 4's replay==live gate.
+
+    The lower/replay timings come from ``execute_point``'s
+    ``info["phase_seconds"]`` — the same per-phase clocks that feed the
+    telemetry ledger spans — so the bench numbers and a run ledger's
+    phase breakdown are directly comparable (schema v4).
     """
     point = ExperimentPoint(benchmark, "baseline", 20, scale=scale,
                             warmup=warmup).resolve()
@@ -193,11 +205,6 @@ def measure_kernel_replay(benchmark: str, *, scale: float, warmup: int,
     trace = TraceRecorder(program).record()
     record_seconds = time.perf_counter() - start
 
-    start = time.perf_counter()
-    lowered = ensure_lowered(program, trace)
-    lowered.streams_for(LevelTwoKind.HYBRID)
-    lower_seconds = time.perf_counter() - start
-
     previous = os.environ.get("REPRO_KERNEL")
     try:
         os.environ["REPRO_KERNEL"] = "0"
@@ -213,17 +220,25 @@ def measure_kernel_replay(benchmark: str, *, scale: float, warmup: int,
         os.environ["REPRO_KERNEL"] = "1"
         kernel_best = None
         kernel_result = None
+        lower_seconds = None
         for _ in range(max(1, repeats)):
             info: dict = {}
-            start = time.perf_counter()
             kernel_result = execute_point(point, trace=trace, info=info)
-            elapsed = time.perf_counter() - start
+            phases = info["phase_seconds"]
+            if "lower" in phases:      # only the first (cold) run lowers
+                lower_seconds = phases["lower"]
+            elapsed = phases["replay"]
             if kernel_best is None or elapsed < kernel_best:
                 kernel_best = elapsed
             if info.get("kernel_source") != "kernel":
                 raise AssertionError(
                     f"{benchmark}: compiled kernel did not engage "
                     f"(kernel_source={info.get('kernel_source')!r})")
+        if lower_seconds is None:
+            raise AssertionError(
+                f"{benchmark}: no cold lowering phase observed — was the "
+                "trace already lowered before the harness ran?")
+        lowered = ensure_lowered(program, trace)  # cached: just the label
     finally:
         if previous is None:
             os.environ.pop("REPRO_KERNEL", None)
@@ -252,6 +267,78 @@ def measure_kernel_replay(benchmark: str, *, scale: float, warmup: int,
         "live_sim_ips": round(instructions / live_best, 1),
         "kernel_vs_interpreted": round(interp_best / kernel_best, 4),
         "kernel_vs_live": round(live_best / kernel_best, 4),
+    }
+
+
+def measure_obs_overhead(benchmark: str = "m88ksim", *, scale: float,
+                         warmup: int, repeats: int = 3) -> dict:
+    """Telemetry-on vs telemetry-off throughput for one live point.
+
+    Runs the same cold baseline point with the flight recorder off and
+    inside an active telemetry run with interval sampling at its default
+    period (``REPRO_OBS=1`` + ``REPRO_OBS_INTERVAL=1``, ledger into a
+    throwaway directory), and reports the relative wall-time overhead.
+    Off/on rounds are *interleaved* (best-of per side) so host-load
+    drift during the measurement hits both sides instead of skewing the
+    ratio.  The results **must** be bit-for-bit equal — telemetry
+    observing a simulation is the ISSUE 7 do-no-harm gate — and CI
+    additionally bounds ``overhead_pct`` via ``--obs-gate``
+    (default 3%).
+    """
+    import tempfile
+
+    from repro import obs
+
+    point = ExperimentPoint(benchmark, "baseline", 20, scale=scale,
+                            warmup=warmup).resolve()
+    env_keys = ("REPRO_OBS", "REPRO_OBS_DIR", "REPRO_OBS_INTERVAL")
+    previous = {key: os.environ.get(key) for key in env_keys}
+    off_best = on_best = None
+    off_result = on_result = None
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            for _ in range(max(3, repeats)):
+                for key in env_keys:
+                    os.environ.pop(key, None)
+                start = time.perf_counter()
+                off_result = execute_point(point, trace=False)
+                elapsed = time.perf_counter() - start
+                if off_best is None or elapsed < off_best:
+                    off_best = elapsed
+
+                os.environ["REPRO_OBS"] = "1"
+                os.environ["REPRO_OBS_DIR"] = tmp
+                os.environ["REPRO_OBS_INTERVAL"] = "1"
+                telemetry = obs.start_run(label="bench-overhead", root=tmp)
+                try:
+                    start = time.perf_counter()
+                    on_result = execute_point(point, trace=False)
+                    elapsed = time.perf_counter() - start
+                    if on_best is None or elapsed < on_best:
+                        on_best = elapsed
+                finally:
+                    obs.close_run(telemetry)
+    finally:
+        for key, value in previous.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+    if on_result != off_result:  # the do-no-harm hard gate
+        raise AssertionError(
+            f"{benchmark}: enabling telemetry changed the simulation "
+            "result")
+    instructions = off_result.total_instructions
+    return {
+        "benchmark": benchmark,
+        "instructions": instructions,
+        "interval_cycles": 50_000,
+        "off_sim_ips": round(instructions / off_best, 1),
+        "on_sim_ips": round(instructions / on_best, 1),
+        "off_wall_seconds": round(off_best, 4),
+        "on_wall_seconds": round(on_best, 4),
+        "overhead_pct": round((on_best - off_best) / off_best * 100, 2),
     }
 
 
@@ -400,6 +487,7 @@ def _pr4_baseline(output: pathlib.Path) -> dict | None:
 def run_bench(*, scale: float = 1.0, warmup: int = 1000, repeats: int = 3,
               jobs: int = 2, grid_scale: float | None = None,
               skip_grid: bool = False, skip_trace: bool = False,
+              obs_gate: float = 3.0,
               output: pathlib.Path | None = None,
               echo=print) -> dict:
     """Run the harness and write ``BENCH_perf.json``; returns the report."""
@@ -474,6 +562,18 @@ def run_bench(*, scale: float = 1.0, warmup: int = 1000, repeats: int = 3,
              f"{grid['traced_seconds']:.2f}s vs live "
              f"{grid['live_seconds']:.2f}s ({grid['trace_speedup']:.2f}x)")
 
+    sample = measure_obs_overhead(scale=scale, warmup=warmup,
+                                  repeats=repeats)
+    report["observability"] = sample
+    echo(f"{sample['benchmark']} telemetry overhead: "
+         f"{sample['on_sim_ips']:,.0f} sim-inst/s on vs "
+         f"{sample['off_sim_ips']:,.0f} off "
+         f"({sample['overhead_pct']:+.2f}%, results identical)")
+    if obs_gate > 0 and sample["overhead_pct"] > obs_gate:
+        raise AssertionError(
+            f"telemetry overhead {sample['overhead_pct']:.2f}% exceeds "
+            f"the {obs_gate:.1f}% gate (--obs-gate 0 disables)")
+
     if not skip_grid:
         # Tiny windows: the grid measures scheduling overhead, not the
         # simulator, so each of its ~100 points should be milliseconds.
@@ -545,6 +645,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--skip-trace", action="store_true",
                         help="skip the trace-replay comparison (also "
                              "skips its replay==live correctness gate)")
+    parser.add_argument("--obs-gate", type=float, default=3.0,
+                        help="fail if telemetry overhead exceeds this "
+                             "percentage (default 3.0; 0 disables the "
+                             "gate, the measurement always runs)")
     parser.add_argument("--output", type=pathlib.Path, default=None,
                         help="output path (default: BENCH_perf.json at "
                              "the repo root)")
@@ -552,5 +656,5 @@ def main(argv: list[str] | None = None) -> int:
     run_bench(scale=args.scale, warmup=args.warmup, repeats=args.repeats,
               jobs=args.jobs, grid_scale=args.grid_scale,
               skip_grid=args.skip_grid, skip_trace=args.skip_trace,
-              output=args.output)
+              obs_gate=args.obs_gate, output=args.output)
     return 0

@@ -51,6 +51,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Mapping, Protocol
 
+from repro import obs
 from repro.experiments.broker import (
     FileBroker,
     MessageError,
@@ -67,8 +68,13 @@ class BackendReport(Protocol):
 
     wants_ticks: bool
 
-    def tick(self, batch_id: str, index: int) -> None:
-        """Point ``index`` of ``batch_id`` completed (progress only)."""
+    def tick(self, batch_id: str, index: int,
+             duration: float | None = None) -> None:
+        """Point ``index`` of ``batch_id`` completed (progress only).
+
+        ``duration`` is the point's compute wall-clock in seconds when
+        the producing worker measured it (None for lower pseudo-ticks
+        and legacy producers)."""
 
     def deliver(self, batch_id: str, index: int, payload: dict) -> None:
         """Its serialized ``SimulationResult`` payload arrived."""
@@ -143,7 +149,9 @@ def _maybe_prelower(point: ExperimentPoint, trace) -> bool:
                               seed=point.seed)
         if is_lowered(trace, program):
             return False
-        ensure_lowered(program, trace)
+        with obs.span("lower", kind="phase", attrs={
+                "phase": "lower", "benchmark": point.benchmark}):
+            ensure_lowered(program, trace)
     except Exception:  # noqa: BLE001 - execute_point reports it per point
         return False
     return True
@@ -151,7 +159,7 @@ def _maybe_prelower(point: ExperimentPoint, trace) -> bool:
 
 def _compute_batch(points: tuple[ExperimentPoint, ...],
                    batch_id: str | None = None,
-                   ticker=None) -> list[tuple]:
+                   ticker=None, obs_ctx: dict | None = None) -> list[tuple]:
     """Pool-worker entry: simulate a same-benchmark batch of points.
 
     The workload registry caches the shared ``Program`` (and its
@@ -163,39 +171,55 @@ def _compute_batch(points: tuple[ExperimentPoint, ...],
     ``("error", exception)`` entries positionally so sibling results
     still reach the parent (and its cache).
 
-    ``ticker`` (a manager queue) receives ``(batch_id, index)`` after
-    each completed point so the parent can stream per-point progress
-    while the batch is still running — plus one ``(batch_id,
-    LOWER_TICK)`` when the batch pays the kernel's one-time
-    trace-lowering cost.
+    ``ticker`` (a manager queue) receives ``(batch_id, index,
+    duration_seconds)`` after each completed point so the parent can
+    stream per-point progress while the batch is still running — plus
+    one ``(batch_id, LOWER_TICK, None)`` when the batch pays the
+    kernel's one-time trace-lowering cost.
+
+    ``obs_ctx`` (a parent :meth:`repro.obs.Telemetry.context`) joins
+    this worker to the parent's telemetry run: the batch runs under a
+    ``batch`` span in a per-process shard stream the parent merges at
+    run close.
     """
     from repro.experiments.runner import execute_point
     from repro.experiments.tracing import SharedTraces
     from repro.pipeline.kernel import LOWER_TICK
-    traces = SharedTraces(points)
-    entries: list[tuple] = []
-    lower_ticked = False
-    for index, point in enumerate(points):
-        point_trace = traces.get(point)
-        if (not lower_ticked and ticker is not None
-                and _maybe_prelower(point, point_trace)):
-            lower_ticked = True
-            try:
-                ticker.put((batch_id, LOWER_TICK))
-            except Exception:  # noqa: BLE001 - a dead manager must not
-                ticker = None  # take the batch's results down with it
-        try:
-            result = execute_point(point, trace=point_trace)
-        except Exception as exc:  # noqa: BLE001 - relayed to the parent
-            entries.append(("error", _relayable_exception(exc)))
-            continue
-        entries.append(("ok", result.to_dict()))
-        if ticker is not None:
-            try:
-                ticker.put((batch_id, index))
-            except Exception:  # noqa: BLE001 - a dead manager must not
-                ticker = None  # take the batch's results down with it
-    return entries
+
+    shard = obs.worker_shard(obs_ctx) if obs_ctx is not None else None
+    with obs.activate(shard):
+        with obs.span(batch_id or "batch", kind="batch", attrs={
+                "batch_id": batch_id, "points": len(points),
+                "benchmark": points[0].benchmark if points else None,
+                "worker": os.getpid()}):
+            traces = SharedTraces(points)
+            entries: list[tuple] = []
+            lower_ticked = False
+            for index, point in enumerate(points):
+                point_trace = traces.get(point)
+                if (not lower_ticked and ticker is not None
+                        and _maybe_prelower(point, point_trace)):
+                    lower_ticked = True
+                    try:
+                        ticker.put((batch_id, LOWER_TICK, None))
+                    except Exception:  # noqa: BLE001 - a dead manager must
+                        ticker = None  # not take the results down with it
+                started = time.perf_counter()
+                try:
+                    result = execute_point(point, trace=point_trace)
+                except Exception as exc:  # noqa: BLE001 - relayed to parent
+                    entries.append(("error", _relayable_exception(exc)))
+                    continue
+                duration = time.perf_counter() - started
+                entries.append(("ok", result.to_dict()))
+                if ticker is not None:
+                    try:
+                        ticker.put((batch_id, index, duration))
+                    except Exception:  # noqa: BLE001 - a dead manager must
+                        ticker = None  # not take the results down with it
+        if shard is not None:
+            shard.snapshot_event()
+        return entries
 
 
 def _make_batches(pending: list[ExperimentPoint],
@@ -305,20 +329,26 @@ class SerialBackend(ExecutionBackend):
         traces = SharedTraces(
             [point for group in batches.values() for point in group])
         for batch_id, group in batches.items():
-            lower_ticked = False
-            for index, point in enumerate(group):
-                point_trace = traces.get(point)
-                if not lower_ticked and _maybe_prelower(point, point_trace):
-                    lower_ticked = True
-                    report.tick(batch_id, LOWER_TICK)
-                try:
-                    payload = execute_point(
-                        point, trace=point_trace).to_dict()
-                except Exception as exc:  # noqa: BLE001 - surfaced per point
-                    report.fail(batch_id, index, exc)
-                    continue
-                report.deliver(batch_id, index, payload)
-                report.tick(batch_id, index)
+            with obs.span(batch_id, kind="batch", attrs={
+                    "batch_id": batch_id, "points": len(group),
+                    "benchmark": group[0].benchmark if group else None}):
+                lower_ticked = False
+                for index, point in enumerate(group):
+                    point_trace = traces.get(point)
+                    if not lower_ticked \
+                            and _maybe_prelower(point, point_trace):
+                        lower_ticked = True
+                        report.tick(batch_id, LOWER_TICK)
+                    started = time.perf_counter()
+                    try:
+                        payload = execute_point(
+                            point, trace=point_trace).to_dict()
+                    except Exception as exc:  # noqa: BLE001 - per point
+                        report.fail(batch_id, index, exc)
+                        continue
+                    duration = time.perf_counter() - started
+                    report.deliver(batch_id, index, payload)
+                    report.tick(batch_id, index, duration)
 
 
 class LocalPoolBackend(ExecutionBackend):
@@ -337,23 +367,28 @@ class LocalPoolBackend(ExecutionBackend):
         # batches do not look stalled; only created when someone listens.
         manager = context.Manager() if report.wants_ticks else None
         ticker = manager.Queue() if manager is not None else None
+        # Workers join the parent's telemetry run (if any) by writing
+        # shard streams straight into its shards/ directory — same host,
+        # same filesystem — which the close-time merge picks up.
+        obs_ctx = obs.worker_context()
 
         def drain_ticker() -> None:
             if ticker is None:
                 return
             while True:
                 try:
-                    batch_id, index = ticker.get_nowait()
+                    batch_id, index, duration = ticker.get_nowait()
                 except queue_module.Empty:
                     return
-                report.tick(batch_id, index)
+                report.tick(batch_id, index, duration)
 
         try:
             with ProcessPoolExecutor(
                     max_workers=workers, mp_context=context) as pool:
                 futures = {
                     pool.submit(_compute_batch, group,
-                                batch_id=batch_id, ticker=ticker): batch_id
+                                batch_id=batch_id, ticker=ticker,
+                                obs_ctx=obs_ctx): batch_id
                     for batch_id, group in batches.items()}
                 remaining = set(futures)
                 while remaining:
@@ -397,6 +432,32 @@ def _tail_worker_logs(broker_dir: pathlib.Path, limit: int = 2000) -> str:
     except OSError as exc:
         return f"(unreadable: {exc})"
     return f"{logs[-1].name}:\n" + data.decode(errors="replace")
+
+
+def _crash_report(broker_dir: pathlib.Path, limit: int = 5) -> str:
+    """Crash diagnostics: structured worker-error lines + raw log tail.
+
+    Workers append one JSONL record per fatal error to
+    ``<broker>/obs/worker-errors.jsonl`` (worker pid, job/batch id,
+    lease path, exception, traceback — see ``repro.worker``), so a
+    crash-loop failure names *which* batch took which worker down even
+    when the raw log is just an import-time stack trace.
+    """
+    sections: list[str] = []
+    errors = broker_dir / "obs" / "worker-errors.jsonl"
+    if errors.is_file():
+        try:
+            lines = errors.read_text(
+                encoding="utf-8", errors="replace").splitlines()
+            tail = [line for line in lines if line.strip()][-limit:]
+            if tail:
+                sections.append(
+                    "structured worker errors (last "
+                    f"{len(tail)}):\n" + "\n".join(tail))
+        except OSError:
+            pass
+    sections.append(_tail_worker_logs(broker_dir))
+    return "\n".join(sections)
 
 
 @dataclass
@@ -541,6 +602,8 @@ class QueueBackend(ExecutionBackend):
             else self.broker_dir)
         broker = FileBroker(broker_dir, lease_timeout=self.lease_timeout)
         blobs = self._trace_blobs(batches)
+        telemetry = obs.current()
+        obs_ctx = obs.worker_context()
 
         jobs_map: dict[str, _QueueJob] = {}
         for batch_id, group in batches.items():
@@ -554,12 +617,22 @@ class QueueBackend(ExecutionBackend):
 
         def submit(job_id: str) -> None:
             job = jobs_map[job_id]
-            broker.submit(job_id, {
+            payload = {
                 "job_id": job_id,
                 "batch_id": job.batch_id,
                 "attempt": job.attempts,
                 "points": [point.to_dict() for point in job.points],
-            }, job.blob)
+            }
+            if obs_ctx is not None:
+                # Workers join the telemetry run via the broker dir (the
+                # only filesystem guaranteed shared); "dir" is dropped
+                # because the parent's run directory may not exist there.
+                payload["obs"] = {"run": obs_ctx["run"],
+                                  "parent": obs_ctx["parent"]}
+            broker.submit(job_id, payload, job.blob)
+            obs.emit("submit", kind="queue", attrs={
+                "job": job_id, "attempt": job.attempts,
+                "points": len(job.points)})
 
         def retry(job_id: str, reason: str) -> None:
             job = jobs_map[job_id]
@@ -567,6 +640,9 @@ class QueueBackend(ExecutionBackend):
             broker.remove(job_id)
             if job.attempts >= self.max_attempts:
                 outstanding.discard(job_id)
+                obs.emit("retries_exhausted", kind="queue", attrs={
+                    "job": job_id, "attempts": job.attempts,
+                    "reason": reason[:200]})
                 error = QueueError(
                     f"batch {job.batch_id} failed after "
                     f"{job.attempts} attempt(s): "
@@ -576,6 +652,10 @@ class QueueBackend(ExecutionBackend):
                 return
             job.attempts += 1
             self.requeues += 1
+            obs.inc("queue.requeue")
+            obs.emit("requeue", kind="queue", attrs={
+                "job": job_id, "attempt": job.attempts,
+                "reason": reason[:200]})
             submit(job_id)
 
         for job_id in jobs_map:
@@ -589,10 +669,10 @@ class QueueBackend(ExecutionBackend):
                 "complete")
 
         def drain_ticks() -> None:
-            for job_id, index in broker.drain_ticks():
+            for job_id, index, duration in broker.drain_ticks():
                 job = jobs_map.get(job_id)
                 if job is not None:
-                    report.tick(job.batch_id, index)
+                    report.tick(job.batch_id, index, duration)
 
         procs: list[subprocess.Popen] = []
         logs: list = []
@@ -610,6 +690,7 @@ class QueueBackend(ExecutionBackend):
                         continue  # stale duplicate from a reclaimed lease
                     if isinstance(outcome, MessageError):
                         self.corrupt_results += 1
+                        obs.inc("queue.corrupt_result")
                         retry(job_id, f"corrupt result payload: {outcome}")
                         continue
                     payload = outcome.payload
@@ -632,14 +713,26 @@ class QueueBackend(ExecutionBackend):
                         else:
                             error = RemotePointError(
                                 f"{item.get('type', 'Error')}: "
-                                f"{item.get('message', '')}")
+                                f"{item.get('message', '')} "
+                                f"(attempt {job.attempts} of "
+                                f"{self.max_attempts})")
                             if item.get("traceback"):
                                 error.add_note(
                                     "worker traceback:\n" + item["traceback"])
                             report.fail(job.batch_id, index, error)
                 for job_id in broker.expired():
+                    age = broker.lease_age(job_id)
                     if job_id in outstanding:
-                        retry(job_id, "lease expired")
+                        obs.inc("queue.lease_expired")
+                        obs.emit("lease_expired", kind="lease", attrs={
+                            "job": job_id,
+                            "age": round(age, 3) if age is not None
+                            else None,
+                            "timeout": self.lease_timeout})
+                        retry(job_id, "lease expired"
+                              + (f" (heartbeat {age:.1f}s old, timeout "
+                                 f"{self.lease_timeout:.1f}s)"
+                                 if age is not None else ""))
                     else:
                         broker.remove(job_id)
                 if procs and outstanding:
@@ -647,6 +740,11 @@ class QueueBackend(ExecutionBackend):
                         if proc.poll() is not None:
                             self.respawns += 1
                             respawns_since_progress += 1
+                            obs.inc("queue.worker_respawn")
+                            obs.emit("respawn", kind="worker", attrs={
+                                "exited_pid": proc.pid,
+                                "returncode": proc.returncode,
+                                "respawns": self.respawns})
                             procs[index] = self._spawn_worker(
                                 broker_dir, len(procs) + self.respawns,
                                 logs)
@@ -658,8 +756,12 @@ class QueueBackend(ExecutionBackend):
                     if respawns_since_progress > 3 * len(procs) + 5:
                         raise QueueError(
                             "queue workers are crash-looping without "
-                            "producing results; last worker log:\n"
-                            + _tail_worker_logs(broker_dir))
+                            "producing results; diagnostics:\n"
+                            + _crash_report(broker_dir))
+                if telemetry is not None:
+                    telemetry.gauge("queue.depth", broker.queued_count())
+                    telemetry.gauge("queue.leased", broker.leased_count())
+                    telemetry.gauge("queue.outstanding", len(outstanding))
                 if self.timeout is not None \
                         and time.monotonic() - started > self.timeout:
                     raise QueueError(
@@ -687,6 +789,14 @@ class QueueBackend(ExecutionBackend):
                     log.close()
                 except OSError:
                     pass
+            if telemetry is not None:
+                # Adopt worker telemetry shards (written under the
+                # broker dir, the shared filesystem) into the run before
+                # the broker dir can be torn down.
+                shard_root = broker_dir / "obs" / telemetry.run_id
+                if shard_root.is_dir():
+                    for shard in sorted(shard_root.glob("*.jsonl")):
+                        telemetry.adopt_shard(shard)
             if owns_dir:
                 shutil.rmtree(broker_dir, ignore_errors=True)
 

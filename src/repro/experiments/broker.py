@@ -197,15 +197,18 @@ class FileBroker:
             except OSError:
                 pass
 
-    def drain_ticks(self) -> list[tuple[str, int]]:
+    def drain_ticks(self) -> list[tuple[str, int, float | None]]:
         """New per-point progress ticks since the last drain.
 
-        Each worker appends ``"<index>\\n"`` lines to its job's tick
-        file; only complete lines are consumed (a torn final line is
-        left for the next drain), and unparseable lines are skipped —
-        ticks are progress hints, never results.
+        Each worker appends ``"<index>\\n"`` or ``"<index>:<seconds>\\n"``
+        lines to its job's tick file (the second form carries the
+        point's compute duration for progress telemetry); only complete
+        lines are consumed (a torn final line is left for the next
+        drain), and unparseable lines are skipped — ticks are progress
+        hints, never results.  Yields ``(job_id, index, duration)``
+        with ``duration=None`` for bare-index lines.
         """
-        ticks: list[tuple[str, int]] = []
+        ticks: list[tuple[str, int, float | None]] = []
         for path in sorted(self.ticks_dir.glob("*.ticks")):
             job_id = path.stem
             offset = self._tick_offsets.get(job_id, 0)
@@ -218,10 +221,13 @@ class FileBroker:
             complete = chunk.rfind(b"\n") + 1
             self._tick_offsets[job_id] = offset + complete
             for line in chunk[:complete].splitlines():
+                index_part, _, dur_part = line.partition(b":")
                 try:
-                    ticks.append((job_id, int(line)))
+                    index = int(index_part)
+                    duration = float(dur_part) if dur_part else None
                 except ValueError:
                     continue
+                ticks.append((job_id, index, duration))
             # A requeued job's ticks restart from index 0; truncation is
             # impossible (append-only), so offsets only grow.
         return ticks
@@ -258,6 +264,16 @@ class FileBroker:
             except OSError:
                 continue
         return stale
+
+    def lease_age(self, job_id: str) -> float | None:
+        """Seconds since a leased job's last heartbeat, or None."""
+        import time
+
+        try:
+            path = self.leased_dir / f"{self._check_job_id(job_id)}.msg"
+            return max(0.0, time.time() - path.stat().st_mtime)
+        except (OSError, ValueError):
+            return None
 
     def queued_count(self) -> int:
         return sum(1 for _ in self.queue_dir.glob("*.msg"))
@@ -305,11 +321,14 @@ class FileBroker:
         except OSError:
             pass  # lease already reclaimed; the result dedupe handles it
 
-    def tick(self, job_id: str, index: int) -> None:
+    def tick(self, job_id: str, index: int,
+             duration: float | None = None) -> None:
         """Record one completed point (and renew the lease)."""
         self._check_job_id(job_id)
+        line = f"{index}\n" if duration is None \
+            else f"{index}:{duration:.6f}\n"
         with open(self.ticks_dir / f"{job_id}.ticks", "ab") as handle:
-            handle.write(f"{index}\n".encode())
+            handle.write(line.encode())
         self.renew(job_id)
 
     def complete(self, job_id: str, payload: dict, blob: bytes = b"", *,

@@ -59,6 +59,11 @@ def code_fingerprint() -> str:
             # The queue worker entrypoint is harness, not simulator: it
             # funnels into the same execute_point as every other path.
             continue
+        if rel.parts[0] == "obs":
+            # Telemetry observes; it never feeds back into a simulation
+            # (identity suite in tests/obs/), so editing it must not
+            # strand cached results or recorded traces.
+            continue
         digest.update(str(rel).encode())
         digest.update(path.read_bytes())
     return digest.hexdigest()

@@ -19,6 +19,9 @@ from the cache.
 
 from __future__ import annotations
 
+import time
+
+from repro import obs
 from repro.core.arvi import ARVIConfig, ValueMode
 from repro.experiments.cache import ResultCache
 from repro.experiments.plan import (
@@ -30,9 +33,15 @@ from repro.experiments.plan import (
 )
 from repro.experiments.scheduler import ProgressCallback, run_plan
 from repro.experiments.tracing import kernel_mode, load_or_record, trace_mode
+from repro.obs.interval import IntervalSampler
 from repro.pipeline.config import machine_for_depth
 from repro.pipeline.engine import PipelineEngine, build_predictor
-from repro.pipeline.kernel import KernelUnsupported, kernel_run
+from repro.pipeline.kernel import (
+    KernelUnsupported,
+    ensure_lowered,
+    is_lowered,
+    kernel_run,
+)
 from repro.pipeline.stats import SimulationResult
 from repro.pipeline.trace import CommittedTrace, TraceReplayCore
 from repro.predictors.twolevel import LevelTwoKind
@@ -97,6 +106,32 @@ def execute_point(point: ExperimentPoint, *,
         raise ValueError(
             "execute_point requires a resolved point; call "
             "point.resolve() first or use run_point/run_suite")
+    perf = time.perf_counter
+    phase_seconds: dict[str, float] = {}
+    if info is not None:
+        info["phase_seconds"] = phase_seconds
+    with obs.span(point.benchmark, kind="point", attrs={
+            "benchmark": point.benchmark,
+            "configuration": point.configuration,
+            "depth": point.pipeline_depth,
+            "speculation": point.speculation}):
+        result = _execute_phases(point, trace, info, phase_seconds, perf)
+    result.configuration = point.configuration
+    return result
+
+
+def _execute_phases(point: ExperimentPoint,
+                    trace: "CommittedTrace | bool | None",
+                    info: dict | None,
+                    phase_seconds: dict[str, float],
+                    perf) -> SimulationResult:
+    """The phase-instrumented body of :func:`execute_point`.
+
+    Each phase (``lower`` / ``replay`` / ``live``; ``record`` lives in
+    :func:`~repro.experiments.tracing.load_or_record`) is wall-clock
+    timed into ``phase_seconds`` unconditionally — the bench harness
+    reads these — and wrapped in a ledger span when telemetry is on.
+    """
     program = get_program(point.benchmark, scale=point.scale,
                           seed=point.seed)
     config = machine_for_depth(point.pipeline_depth,
@@ -109,15 +144,26 @@ def execute_point(point: ExperimentPoint, *,
         if trace is not None:
             if point.configuration == "baseline" and kernel_mode():
                 try:
-                    result = kernel_run(
-                        program, trace, config, LevelTwoKind.HYBRID,
-                        warmup_instructions=point.warmup)
-                except KernelUnsupported:
-                    pass  # fall back to the interpreted replay below
+                    if not is_lowered(trace, program):
+                        start = perf()
+                        with obs.span("lower", kind="phase",
+                                      attrs={"phase": "lower"}):
+                            ensure_lowered(program, trace)
+                        phase_seconds["lower"] = perf() - start
+                    start = perf()
+                    with obs.span("replay", kind="phase", attrs={
+                            "phase": "replay", "mode": "kernel"}):
+                        result = kernel_run(
+                            program, trace, config, LevelTwoKind.HYBRID,
+                            warmup_instructions=point.warmup)
+                    phase_seconds["replay"] = perf() - start
+                except KernelUnsupported as exc:
+                    # Fall back to the interpreted replay below.
+                    obs.inc("kernel.fallback",
+                            reason=str(exc).split(";")[0][:80])
                 else:
                     if info is not None:
                         info["kernel_source"] = "kernel"
-                    result.configuration = point.configuration
                     return result
             core = TraceReplayCore(program, trace)
     if info is not None:
@@ -131,10 +177,26 @@ def execute_point(point: ExperimentPoint, *,
                                     point.arvi_config)
         mode = _VALUE_MODES[point.configuration]
 
-    engine = PipelineEngine(program, config, predictor, value_mode=mode,
-                            warmup_instructions=point.warmup, core=core)
-    result = engine.run()
-    result.configuration = point.configuration
+    telemetry = obs.current()
+    every = obs.interval_cycles() if telemetry is not None else 0
+    sampler = IntervalSampler(every) if every else None
+
+    phase = "replay" if core is not None else "live"
+    start = perf()
+    with obs.span(phase, kind="phase", attrs={
+            "phase": phase,
+            "mode": "interpreted" if core is not None else "live"}):
+        engine = PipelineEngine(program, config, predictor, value_mode=mode,
+                                warmup_instructions=point.warmup, core=core,
+                                sampler=sampler)
+        result = engine.run()
+        if sampler is not None and telemetry is not None:
+            for sample in sampler.samples:
+                telemetry.emit("interval", kind="interval",
+                               attrs=sample.to_attrs())
+                telemetry.observe("engine.ddt_chain_length",
+                                  sample.chain_length)
+    phase_seconds[phase] = perf() - start
     return result
 
 

@@ -57,6 +57,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.experiments.backends import (
     ExecutionBackend,
     _compute_batch,
@@ -104,6 +105,13 @@ class ProgressEvent:
     #: trace-lowering pass (``point`` is then the batch's first point,
     #: and ``completed`` does not advance — no point finished yet).
     phase: str = "point"
+    #: Wall-clock time the event was emitted (``time.time()``); pairs
+    #: with the monotonic ``elapsed`` for cross-process correlation.
+    timestamp: float = 0.0
+    #: Seconds this point's simulation took, when the producing backend
+    #: measured it (serial always; pool/queue workers ship it with their
+    #: progress ticks).  None for cache hits and lower pseudo-events.
+    duration: float | None = None
 
 
 ProgressCallback = Callable[[ProgressEvent], None]
@@ -131,7 +139,8 @@ class _PlanReport:
         self.failure: Exception | None = None
         self.failures: list[tuple[ExperimentPoint | None, Exception]] = []
 
-    def tick(self, batch_id: str, index: int) -> None:
+    def tick(self, batch_id: str, index: int,
+             duration: float | None = None) -> None:
         if (batch_id, index) in self._ticked:
             return
         self._ticked.add((batch_id, index))
@@ -144,7 +153,8 @@ class _PlanReport:
             self._emit(group[0], self._source, batch_id, len(group),
                        phase="lower")
             return
-        self._emit(group[index], self._source, batch_id, len(group))
+        self._emit(group[index], self._source, batch_id, len(group),
+                   duration=duration)
 
     def deliver(self, batch_id: str, index: int, payload: dict) -> None:
         self._deliver(self._batches[batch_id][index], payload)
@@ -175,6 +185,23 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
     also accepts a configured :class:`~repro.experiments.backends.
     ExecutionBackend` instance.
     """
+    telemetry = None
+    if obs.enabled() and obs.current() is None:
+        # Outermost run_plan of the process owns the telemetry run; a
+        # nested call (or one under a caller-managed run) just joins it.
+        telemetry = obs.start_run(label="plan")
+    try:
+        with obs.span("plan", kind="plan", attrs={"points": len(plan)}):
+            return _run_plan(plan, jobs=jobs, cache=cache,
+                             use_cache=use_cache, progress=progress,
+                             batch=batch, backend=backend)
+    finally:
+        if telemetry is not None:
+            obs.close_run(telemetry)
+
+
+def _run_plan(plan: ExperimentPlan, *, jobs, cache, use_cache, progress,
+              batch, backend) -> dict[ExperimentPoint, SimulationResult]:
     started = time.perf_counter()
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     batch = default_batching() if batch is None else bool(batch)
@@ -189,20 +216,34 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
 
     def emit(point: ExperimentPoint, source: str,
              batch_id: str | None = None, batch_size: int = 1,
-             phase: str = "point") -> None:
+             phase: str = "point", duration: float | None = None) -> None:
         nonlocal done
         if phase == "point":
             done += 1
+        attrs = {"benchmark": point.benchmark,
+                 "configuration": point.configuration,
+                 "depth": point.pipeline_depth, "source": source,
+                 "phase": phase, "completed": done, "total": len(plan)}
+        if batch_id is not None:
+            attrs["batch_id"] = batch_id
+        if duration is not None:
+            attrs["duration"] = round(duration, 6)
+        obs.emit("progress", kind="point", attrs=attrs)
+        if duration is not None:
+            obs.observe_duration("point.duration", duration, source=source)
         if progress is not None:
             progress(ProgressEvent(
                 point=point, key=keys[point], completed=done,
                 total=len(plan), source=source,
                 elapsed=time.perf_counter() - started,
-                batch_id=batch_id, batch_size=batch_size, phase=phase))
+                batch_id=batch_id, batch_size=batch_size, phase=phase,
+                timestamp=time.time(), duration=duration))
 
     pending: list[ExperimentPoint] = []
     for point in plan:
         hit = cache.get(keys[point]) if cache is not None else None
+        if cache is not None:
+            obs.inc("cache.hit" if hit is not None else "cache.miss")
         if hit is not None:
             results[point] = hit
             emit(point, "cache")
@@ -220,7 +261,8 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
             results[point] = _finish(point, payload, keys, cache)
 
         report = _PlanReport(groups, engine.source, emit, deliver,
-                             wants_ticks=progress is not None)
+                             wants_ticks=(progress is not None
+                                          or obs.current() is not None))
         engine.execute(groups, report, jobs=jobs)
         if report.failure is not None:
             raise report.failure

@@ -41,6 +41,7 @@ import pathlib
 import tempfile
 from collections import Counter
 
+from repro import obs
 from repro.experiments.plan import ExperimentPoint, code_fingerprint
 from repro.pipeline.functional import DEFAULT_MAX_INSTRUCTIONS
 from repro.pipeline.trace import CommittedTrace, TraceError, TraceRecorder
@@ -126,8 +127,10 @@ class TraceStore:
             trace = CommittedTrace.from_bytes(self._path(key).read_bytes())
         except (OSError, TraceError):
             self.misses += 1
+            obs.inc("trace_store.cold")
             return None
         self.hits += 1
+        obs.inc("trace_store.warm")
         return trace
 
     def put(self, key: str, trace: CommittedTrace) -> None:
@@ -198,7 +201,9 @@ def load_or_record(benchmark: str, scale: float, seed: int,
                 return trace
             except TraceError:
                 pass  # stale under this key: re-record below
-    trace = TraceRecorder(program).record(max_instructions)
+    with obs.span("record", kind="phase", attrs={
+            "phase": "record", "benchmark": benchmark}):
+        trace = TraceRecorder(program).record(max_instructions)
     if store is not None:
         store.put(key, trace)
     return trace

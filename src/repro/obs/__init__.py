@@ -1,0 +1,491 @@
+"""Unified structured telemetry: spans, metrics and a live run ledger.
+
+A zero-dependency flight recorder for the whole execution stack
+(DESIGN.md §11).  When ``REPRO_OBS=1`` the experiment scheduler opens a
+*telemetry run* — a directory under ``REPRO_OBS_DIR`` (default
+``benchmarks/results/obs/``) — and every layer appends structured JSONL
+events to it:
+
+* **spans** — ``run → plan → batch → point → phase`` (record / lower /
+  replay / live), plus queue lifecycle events (submit, lease expiry,
+  requeue, retry, worker respawn) with monotonic durations and the
+  existing ``trace_source`` / ``kernel_source`` markers as attributes;
+* **metrics** — counters, gauges and histograms
+  (:mod:`repro.obs.metrics`): cache hit/miss, trace-store warm/cold,
+  kernel-fallback reasons, queue depth, lease age, worker restarts —
+  snapshotted into the ledger and to ``metrics.json`` /
+  ``metrics.prom`` (Prometheus text exposition) at run close;
+* **worker shards** — pool and queue workers write their own streams
+  (:meth:`Telemetry.fork_shard`, queue workers via the broker
+  directory); the parent adopts and merges them into one totally
+  ordered ``ledger.jsonl``, written atomically at run close
+  (:mod:`repro.obs.ledger`);
+* **interval samples** — ``REPRO_OBS_INTERVAL=N`` attaches a read-only
+  per-N-cycle sampler to the engine (:mod:`repro.obs.interval`): IPC,
+  mispredict rate, ROB occupancy and DDT chain lengths over time.
+
+Telemetry *observes*; it never feeds back into a simulation.  Enabling
+``REPRO_OBS`` and interval sampling leaves every ``SimulationResult``
+bit-for-bit identical on every backend (enforced by the identity suite
+in ``tests/obs/``), and the whole package is excluded from the
+result-cache code fingerprint for the same reason.
+
+The instrumentation API is the module itself — every helper no-ops in
+nanoseconds when no telemetry run is active, so call sites stay bare::
+
+    from repro import obs
+
+    with obs.span("replay", kind="phase", attrs={"mode": "kernel"}):
+        ...
+    obs.inc("cache.hit")
+
+``python -m repro.obs`` tails a live run, summarizes a finished one and
+validates ledgers against the event schema (:mod:`repro.obs.__main__`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pathlib
+import shutil
+import time
+from typing import Iterator
+
+from repro.obs.ledger import EVENT_SCHEMA_VERSION, merge_streams
+from repro.obs.metrics import (
+    DURATION_BOUNDS,
+    MetricsRegistry,
+    render_prometheus,
+)
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "Telemetry",
+    "activate",
+    "close_run",
+    "current",
+    "enabled",
+    "emit",
+    "gauge",
+    "inc",
+    "interval_cycles",
+    "obs_root",
+    "observe",
+    "observe_duration",
+    "span",
+    "start_run",
+    "worker_context",
+    "worker_shard",
+]
+
+_TRUTHY_OFF = ("", "0", "false", "no", "off")
+
+
+def enabled() -> bool:
+    """``REPRO_OBS`` -> whether the scheduler opens a telemetry run."""
+    return os.environ.get("REPRO_OBS", "").strip().lower() not in _TRUTHY_OFF
+
+
+def interval_cycles() -> int:
+    """``REPRO_OBS_INTERVAL`` -> engine sampling period in cycles (0=off).
+
+    ``REPRO_OBS_INTERVAL=1`` (bare "on") selects the default period of
+    50_000 cycles; any larger integer is the period itself.
+    """
+    raw = os.environ.get("REPRO_OBS_INTERVAL", "").strip().lower()
+    if raw in _TRUTHY_OFF:
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        return 0
+    if value <= 0:
+        return 0
+    return 50_000 if value == 1 else value
+
+
+def obs_root() -> pathlib.Path:
+    """Where telemetry runs live (``REPRO_OBS_DIR`` overrides)."""
+    override = os.environ.get("REPRO_OBS_DIR")
+    if override:
+        return pathlib.Path(override)
+    root = pathlib.Path(__file__).resolve().parents[3]
+    if not (root / "pyproject.toml").is_file():
+        root = pathlib.Path.cwd()
+    return root / "benchmarks" / "results" / "obs"
+
+
+class Telemetry:
+    """One process's event stream within a telemetry run.
+
+    The parent scheduler owns the *root* instance (its stream is
+    ``<run_dir>/events.jsonl`` and it performs the close-time merge);
+    worker processes own *shard* instances writing to their own files.
+    Every line is flushed as written, so a worker killed mid-batch
+    (``os._exit`` included) leaves a readable stream whose unclosed
+    spans record exactly where it died.
+    """
+
+    def __init__(self, run_id: str, run_dir: str | os.PathLike, *,
+                 emitter: str = "parent",
+                 path: str | os.PathLike | None = None,
+                 root_span: str | None = None) -> None:
+        self.run_id = run_id
+        self.run_dir = pathlib.Path(run_dir)
+        self.emitter = emitter
+        self.pid = os.getpid()
+        self.metrics = MetricsRegistry()
+        self._seq = 0
+        self._span_n = 0
+        self._stack: list[str | None] = [root_span]
+        self._open_spans: dict[str, float] = {}
+        self.path = pathlib.Path(path) if path is not None \
+            else self.run_dir / "events.jsonl"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._closed = False
+
+    # -- primitives ----------------------------------------------------------
+
+    def _write(self, record: dict) -> None:
+        if self._closed:
+            return
+        try:
+            self._file.write(json.dumps(record, sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+            self._file.flush()
+        except (OSError, ValueError):
+            # A torn-down filesystem (temp broker dir removed under a
+            # straggling worker) must never take the simulation down.
+            self._closed = True
+
+    def _record(self, event: str, name: str, kind: str,
+                attrs: dict | None = None, **extra) -> dict:
+        record = {
+            "v": EVENT_SCHEMA_VERSION,
+            "ts": time.time(),
+            "run": self.run_id,
+            "emitter": self.emitter,
+            "seq": self._seq,
+            "event": event,
+            "name": name,
+            "kind": kind,
+        }
+        self._seq += 1
+        if attrs:
+            record["attrs"] = attrs
+        record.update(extra)
+        return record
+
+    # -- spans ---------------------------------------------------------------
+
+    def begin_span(self, name: str, kind: str,
+                   attrs: dict | None = None) -> str:
+        span_id = f"{self.emitter}#{self._span_n}"
+        self._span_n += 1
+        self._write(self._record("span_start", name, kind, attrs,
+                                 span=span_id, parent=self._stack[-1]))
+        self._stack.append(span_id)
+        self._open_spans[span_id] = time.perf_counter()
+        return span_id
+
+    def end_span(self, span_id: str, attrs: dict | None = None) -> float:
+        started = self._open_spans.pop(span_id, None)
+        duration = time.perf_counter() - started if started is not None \
+            else 0.0
+        if self._stack and self._stack[-1] == span_id:
+            self._stack.pop()
+        node = self._stack[-1] if self._stack else None
+        record = self._record("span_end", "end", "span", attrs,
+                              span=span_id, parent=node,
+                              dur=round(duration, 6))
+        self._write(record)
+        return duration
+
+    @contextlib.contextmanager
+    def span(self, name: str, kind: str = "span",
+             attrs: dict | None = None) -> Iterator[str]:
+        span_id = self.begin_span(name, kind, attrs)
+        try:
+            yield span_id
+        except BaseException as exc:
+            self.end_span(span_id, attrs={
+                "error": f"{type(exc).__name__}: {exc}"[:200]})
+            raise
+        else:
+            self.end_span(span_id)
+
+    def emit(self, name: str, kind: str = "event",
+             attrs: dict | None = None) -> None:
+        self._write(self._record("event", name, kind, attrs,
+                                 span=self._stack[-1]))
+
+    # -- metrics -------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        self.metrics.inc(name, value, **labels)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        self.metrics.set_gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float,
+                bounds: tuple[float, ...] | None = None, **labels) -> None:
+        self.metrics.observe(name, value, bounds=bounds, **labels)
+
+    # -- cross-process plumbing ----------------------------------------------
+
+    def context(self) -> dict:
+        """What a worker needs to join this run's span tree."""
+        return {"run": self.run_id, "parent": self._stack[-1],
+                "dir": str(self.run_dir)}
+
+    def fork_shard(self, context: dict | None = None) -> "Telemetry":
+        """A shard stream for a worker process of this run.
+
+        Call in the *worker* (after fork/spawn): the shard writes to
+        ``<run_dir>/shards/worker-<pid>.jsonl`` and roots its spans at
+        the parent span carried by ``context`` (the scheduler's batch
+        submission context), so the merged ledger reconstructs one tree.
+        """
+        context = context or self.context()
+        run_dir = pathlib.Path(context.get("dir", self.run_dir))
+        emitter = f"worker-{os.getpid()}"
+        return Telemetry(
+            context.get("run", self.run_id), run_dir, emitter=emitter,
+            path=run_dir / "shards" / f"{emitter}.jsonl",
+            root_span=context.get("parent"))
+
+    def adopt_shard(self, path: str | os.PathLike) -> None:
+        """Copy a worker's shard file into this run (pre-merge).
+
+        Queue workers write shards into the *broker* directory (the only
+        filesystem guaranteed to be shared); the scheduler adopts them
+        before the broker is torn down so the close-time merge sees
+        them.
+        """
+        path = pathlib.Path(path)
+        shard_dir = self.run_dir / "shards"
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        target = shard_dir / path.name
+        stem, suffix = path.stem, path.suffix
+        n = 0
+        while target.exists():
+            n += 1
+            target = shard_dir / f"{stem}-{n}{suffix}"
+        try:
+            shutil.copyfile(path, target)
+        except OSError:
+            pass  # a vanished shard loses events, never results
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def snapshot_metrics(self) -> dict:
+        return self.metrics.to_dict()
+
+    def snapshot_event(self) -> None:
+        """Write a cumulative metrics-snapshot line to this stream.
+
+        Shards call this after each batch/job so a later crash still
+        leaves their counters recoverable; the close-time merge folds
+        only each stream's *last* snapshot (they are cumulative).
+        """
+        self._write(self._record("metrics", "snapshot", "metrics",
+                                 metrics=self.snapshot_metrics()))
+
+    def close(self, *, merge: bool = True) -> pathlib.Path | None:
+        """Flush, snapshot metrics, merge shards, write the final ledger.
+
+        Shard instances call ``close(merge=False)`` — they just emit
+        their metrics snapshot and close their stream.  The root
+        instance folds every shard's snapshot into the run totals,
+        writes ``metrics.json`` + ``metrics.prom``, and produces the
+        atomically-visible ``ledger.jsonl``.  Returns the ledger path
+        (root) or None (shard).
+        """
+        if self._closed:
+            return None
+        self.snapshot_event()
+        self._file.close()
+        self._closed = True
+        if not merge:
+            return None
+        streams = [self.path]
+        shard_dir = self.run_dir / "shards"
+        if shard_dir.is_dir():
+            streams.extend(sorted(shard_dir.glob("*.jsonl")))
+        # Fold each shard's *last* metrics snapshot (they are cumulative
+        # per stream) into the run totals.
+        from repro.obs.ledger import read_events
+        for stream in streams[1:]:
+            try:
+                last = None
+                for record in read_events(stream):
+                    if record.get("event") == "metrics":
+                        last = record
+                if last is not None:
+                    self.metrics.merge(last.get("metrics", {}))
+            except OSError:
+                continue
+        ledger = self.run_dir / "ledger.jsonl"
+        merge_streams(streams, ledger)
+        try:
+            (self.run_dir / "metrics.json").write_text(
+                json.dumps(self.metrics.to_dict(), indent=2) + "\n")
+            (self.run_dir / "metrics.prom").write_text(
+                render_prometheus(self.metrics))
+        except OSError:
+            pass
+        return ledger
+
+
+# -- module-level current run -------------------------------------------------
+
+_current: Telemetry | None = None
+_run_counter = 0
+
+
+def current() -> Telemetry | None:
+    """The active telemetry for *this process*, or None.
+
+    An instance inherited across ``fork`` is the parent's — writing to
+    its stream would interleave two processes' sequence numbers — so it
+    is invisible here; workers join explicitly via :func:`activate` with
+    a :meth:`Telemetry.fork_shard` instance.
+    """
+    if _current is not None and _current.pid == os.getpid():
+        return _current
+    return None
+
+
+def start_run(label: str | None = None,
+              root: str | os.PathLike | None = None) -> Telemetry:
+    """Open a telemetry run and make it current; caller must close it.
+
+    The run directory is ``<obs_root>/<run_id>/``; the root ``run`` span
+    is opened immediately and closed by :func:`close_run`.
+    """
+    global _current, _run_counter
+    _run_counter += 1
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    run_id = f"run-{stamp}-{os.getpid()}-{_run_counter}"
+    if label:
+        run_id += f"-{label}"
+    run_dir = pathlib.Path(root) if root is not None else obs_root()
+    telemetry = Telemetry(run_id, run_dir / run_id)
+    telemetry.begin_span("run", "run", attrs={"label": label})
+    _current = telemetry
+    return telemetry
+
+
+def close_run(telemetry: Telemetry) -> pathlib.Path | None:
+    """Close a :func:`start_run` telemetry: end the run span and merge."""
+    global _current
+    for span_id in list(reversed(telemetry._stack)):
+        if span_id is not None and span_id in telemetry._open_spans:
+            telemetry.end_span(span_id)
+    ledger = telemetry.close()
+    if _current is telemetry:
+        _current = None
+    return ledger
+
+
+@contextlib.contextmanager
+def activate(telemetry: Telemetry | None) -> Iterator[Telemetry | None]:
+    """Make ``telemetry`` current for this process (worker-side)."""
+    global _current
+    previous = current()
+    if telemetry is not None:
+        _current = telemetry
+    try:
+        yield telemetry
+    finally:
+        _current = previous
+
+
+def worker_context() -> dict | None:
+    """The current run's :meth:`Telemetry.context`, for shipping."""
+    telemetry = current()
+    return telemetry.context() if telemetry is not None else None
+
+
+_shards: dict[tuple[str, str, int], Telemetry] = {}
+
+
+def worker_shard(context: dict | None,
+                 shard_dir: str | os.PathLike | None = None,
+                 ) -> Telemetry | None:
+    """This worker process's shard stream for a parent's run, cached.
+
+    ``context`` is a shipped :meth:`Telemetry.context`; ``shard_dir``
+    overrides where the shard file lives (queue workers write into the
+    broker directory — the only filesystem guaranteed to be shared with
+    the scheduler, which adopts the shards before broker teardown).
+    One instance per (run, directory, pid) is reused across batches so
+    sequence numbers stay monotone and metrics stay cumulative; the
+    stream lives until process exit (every line is flushed, so even an
+    ``os._exit`` crash leaves it readable).  Returns None when the
+    context is unusable — telemetry must never fail a simulation.
+    """
+    if not isinstance(context, dict) or not context.get("run"):
+        return None
+    base = pathlib.Path(shard_dir) if shard_dir is not None \
+        else pathlib.Path(context.get("dir", "")) / "shards"
+    key = (str(context["run"]), str(base), os.getpid())
+    shard = _shards.get(key)
+    if shard is not None and not shard._closed:
+        return shard
+    emitter = f"worker-{os.getpid()}"
+    parent = context.get("parent")
+    try:
+        shard = Telemetry(
+            str(context["run"]), pathlib.Path(context.get("dir", base)),
+            emitter=emitter, path=base / f"{emitter}.jsonl",
+            root_span=parent if isinstance(parent, str) else None)
+    except OSError:
+        return None
+    _shards[key] = shard
+    return shard
+
+
+# -- no-op-when-inactive instrumentation helpers ------------------------------
+
+_NULL_SPAN = contextlib.nullcontext()
+
+
+def span(name: str, kind: str = "span", attrs: dict | None = None):
+    telemetry = current()
+    if telemetry is None:
+        return _NULL_SPAN
+    return telemetry.span(name, kind, attrs)
+
+
+def emit(name: str, kind: str = "event", attrs: dict | None = None) -> None:
+    telemetry = current()
+    if telemetry is not None:
+        telemetry.emit(name, kind, attrs)
+
+
+def inc(name: str, value: float = 1, **labels) -> None:
+    telemetry = current()
+    if telemetry is not None:
+        telemetry.inc(name, value, **labels)
+
+
+def gauge(name: str, value: float, **labels) -> None:
+    telemetry = current()
+    if telemetry is not None:
+        telemetry.gauge(name, value, **labels)
+
+
+def observe(name: str, value: float,
+            bounds: tuple[float, ...] | None = None, **labels) -> None:
+    telemetry = current()
+    if telemetry is not None:
+        telemetry.observe(name, value, bounds=bounds, **labels)
+
+
+def observe_duration(name: str, seconds: float, **labels) -> None:
+    """Histogram a wall-clock duration with duration-shaped buckets."""
+    observe(name, seconds, bounds=DURATION_BOUNDS, **labels)

@@ -1,0 +1,99 @@
+"""Sampled engine-interval telemetry (``REPRO_OBS_INTERVAL``).
+
+An :class:`IntervalSampler` rides inside the engine's fused loop and
+takes a snapshot every N *cycles* of simulated time: interval IPC,
+interval mispredict rate, ROB occupancy, DDT in-flight count and the
+DDT chain length feeding the sampled instruction.  Everything it does
+is a **read** — it queries counters the engine already maintains and
+the DDT's pure ``chain_length`` popcount — so attaching a sampler
+provably cannot perturb a simulation (the identity suite asserts
+bit-for-bit equal ``SimulationResult``\\ s with sampling on and off,
+and the per-instruction cost when *no* sampler is attached is a single
+``is not None`` test).
+
+Samples accumulate in memory; :func:`repro.experiments.runner.
+execute_point` flushes them into the run ledger as ``interval`` events
+under the point's span after the engine returns, and folds the chain
+lengths into the ``engine.ddt_chain_length`` histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class IntervalSample:
+    """One per-interval snapshot of the engine's hot state."""
+
+    cycle: int
+    instructions: int       # committed so far (stream order)
+    ipc: float              # over this interval
+    branches: int           # conditional branches this interval (measured)
+    mispredicts: int        # final mispredictions this interval (measured)
+    rob_occupancy: int      # retirement-window entries in flight
+    ddt_in_flight: int      # DDT tokens in flight
+    chain_length: int       # DDT chain feeding the sampled instruction
+
+    def to_attrs(self) -> dict:
+        return {
+            "cycle": self.cycle,
+            "instructions": self.instructions,
+            "ipc": round(self.ipc, 4),
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+            "rob_occupancy": self.rob_occupancy,
+            "ddt_in_flight": self.ddt_in_flight,
+            "chain_length": self.chain_length,
+        }
+
+
+@dataclass
+class IntervalSampler:
+    """Collects :class:`IntervalSample`\\ s every ``every`` cycles.
+
+    The engine calls :meth:`record` when the commit cycle crosses the
+    next sampling boundary and uses the returned threshold for the next
+    check — one integer comparison per instruction between samples.
+    """
+
+    every: int
+    samples: list[IntervalSample] = field(default_factory=list)
+    _last_cycle: int = 0
+    _last_seq: int = 0
+    _last_branches: int = 0
+    _last_correct: int = 0
+
+    def __post_init__(self) -> None:
+        self.every = max(1, int(self.every))
+
+    @property
+    def first_threshold(self) -> int:
+        return self.every
+
+    def record(self, cycle: int, seq: int, rob_occupancy: int,
+               ddt, src_pregs: tuple[int, ...],
+               cond_branches: int, final_correct: int) -> int:
+        """Take one sample; returns the next cycle threshold."""
+        d_cycles = cycle - self._last_cycle
+        d_insts = seq + 1 - self._last_seq
+        d_branches = cond_branches - self._last_branches
+        d_correct = final_correct - self._last_correct
+        self.samples.append(IntervalSample(
+            cycle=cycle,
+            instructions=seq + 1,
+            ipc=d_insts / d_cycles if d_cycles > 0 else 0.0,
+            branches=d_branches,
+            mispredicts=d_branches - d_correct,
+            rob_occupancy=rob_occupancy,
+            ddt_in_flight=ddt.in_flight,
+            chain_length=ddt.chain_length(*src_pregs),
+        ))
+        self._last_cycle = cycle
+        self._last_seq = seq + 1
+        self._last_branches = cond_branches
+        self._last_correct = final_correct
+        # Skip intervals with no committed instructions (long stalls):
+        # the next boundary is the first multiple of ``every`` beyond
+        # the current cycle.
+        return cycle - (cycle % self.every) + self.every

@@ -128,13 +128,22 @@ class PipelineEngine:
                  warmup_instructions: int = 0,
                  observers: list[Observer] | None = None,
                  ddt_cross_check: bool = False,
-                 core: FunctionalCore | None = None) -> None:
+                 core: FunctionalCore | None = None,
+                 sampler=None) -> None:
         self.program = program
         self.config = config
         self.predictor = predictor
         self.value_mode = value_mode
         self.warmup_instructions = warmup_instructions
         self.observers = observers or []
+        # Optional read-only interval telemetry (duck-typed so the
+        # pipeline layer does not depend on repro.obs): an object with
+        # ``first_threshold`` and ``record(cycle, seq, rob_occupancy,
+        # ddt, src_pregs, cond_branches, final_correct) -> next
+        # threshold`` — see ``repro.obs.interval.IntervalSampler``.
+        # Sampling only *reads* engine state; results are bit-for-bit
+        # identical with or without it (identity suite in tests/obs/).
+        self.sampler = sampler
         # Recovery machinery exists only in wrongpath mode, so the
         # redirect path stays byte-identical to the seed engine.
         self.recovery = (RecoveryManager()
@@ -288,6 +297,10 @@ class PipelineEngine:
         ras_pop = self.ras.pop
         result = self.result
         observers = self.observers
+        sampler = self.sampler
+        sample_record = sampler.record if sampler is not None else None
+        next_sample = sampler.first_threshold if sampler is not None else 0
+        ddt_obj = self.ddt
         heappush = heapq.heappush
         heappop = heapq.heappop
         sync_spec = self.recovery is not None
@@ -529,6 +542,11 @@ class PipelineEngine:
                         result.loads += 1
                     elif is_store:
                         result.stores += 1
+
+                if sample_record is not None and commit >= next_sample:
+                    next_sample = sample_record(
+                        commit, seq, len(rob_commits), ddt_obj, src_pregs,
+                        result.cond_branches, result.final_correct)
 
                 if observers:
                     record = TimingRecord(

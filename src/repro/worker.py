@@ -45,6 +45,7 @@ import sys
 import time
 import traceback
 
+from repro import obs
 from repro.experiments.backends import _maybe_prelower
 from repro.experiments.broker import FileBroker, LeasedJob
 from repro.experiments.plan import ExperimentPoint
@@ -111,41 +112,71 @@ def _run_job(broker: FileBroker, leased: LeasedJob,
         })
         return
 
+    # Join the scheduler's telemetry run, if the job carries one: the
+    # shard stream lives under the broker directory (the only filesystem
+    # guaranteed shared); the scheduler adopts it before broker teardown.
+    # A crash mid-batch (os._exit included) leaves the per-line-flushed
+    # stream readable, its unclosed batch span marking where we died.
+    obs_ctx = payload.get("obs")
+    shard = None
+    if isinstance(obs_ctx, dict) and obs_ctx.get("run"):
+        shard = obs.worker_shard(
+            obs_ctx,
+            shard_dir=broker.directory / "obs" / str(obs_ctx["run"]))
+
     trace_source = "shipped" if trace is not None else "live"
     kernel_source = "live"
     lower_ticked = False
     shared = SharedTraces(points) if trace is None else None
     entries: list[list] = []
-    for index, point in enumerate(points):
-        if trace is not None:
-            point_trace = trace if point.speculation == "redirect" else None
-        else:
-            point_trace = shared.get(point)
-            if point_trace is not None:
-                trace_source = "local"
-        if not lower_ticked and _maybe_prelower(point, point_trace):
-            # Shipped traces are lowered locally, once per job; the
-            # pseudo-tick shows up scheduler-side as a "lower" phase
-            # (and renews the lease like any other tick).
-            lower_ticked = True
-            broker.tick(job_id, LOWER_TICK)
-        info: dict = {}
-        try:
-            result = execute_point(point, trace=point_trace, info=info)
-        except Exception as exc:  # noqa: BLE001 - isolated per point
-            entries.append(["error", _describe_exception(exc)])
-            continue
-        point_source = info.get("kernel_source", "live")
-        if (_KERNEL_SOURCE_RANK.get(point_source, 0)
-                > _KERNEL_SOURCE_RANK[kernel_source]):
-            kernel_source = point_source
-        entries.append(["ok", result.to_dict()])
-        broker.tick(job_id, index)
-        state.completed_points += 1
-        if (state.args.crash_after_points is not None
-                and state.completed_points >= state.args.crash_after_points
-                and _claim_crash_marker(broker)):
-            os._exit(3)  # injected crash: lease left to expire
+    with obs.activate(shard):
+        with obs.span(payload.get("batch_id") or job_id, kind="batch",
+                      attrs={"batch_id": payload.get("batch_id"),
+                             "job": job_id,
+                             "attempt": payload.get("attempt"),
+                             "points": len(points),
+                             "worker": os.getpid()}):
+            for index, point in enumerate(points):
+                if trace is not None:
+                    point_trace = trace \
+                        if point.speculation == "redirect" else None
+                else:
+                    point_trace = shared.get(point)
+                    if point_trace is not None:
+                        trace_source = "local"
+                if not lower_ticked and _maybe_prelower(point, point_trace):
+                    # Shipped traces are lowered locally, once per job;
+                    # the pseudo-tick shows up scheduler-side as a
+                    # "lower" phase (and renews the lease like any other
+                    # tick).
+                    lower_ticked = True
+                    broker.tick(job_id, LOWER_TICK)
+                info: dict = {}
+                started = time.perf_counter()
+                try:
+                    result = execute_point(point, trace=point_trace,
+                                           info=info)
+                except Exception as exc:  # noqa: BLE001 - per point
+                    entries.append(["error", _describe_exception(exc)])
+                    continue
+                point_source = info.get("kernel_source", "live")
+                if (_KERNEL_SOURCE_RANK.get(point_source, 0)
+                        > _KERNEL_SOURCE_RANK[kernel_source]):
+                    kernel_source = point_source
+                entries.append(["ok", result.to_dict()])
+                broker.tick(job_id, index,
+                            time.perf_counter() - started)
+                state.completed_points += 1
+                if (state.args.crash_after_points is not None
+                        and state.completed_points
+                        >= state.args.crash_after_points
+                        and _claim_crash_marker(broker)):
+                    os._exit(3)  # injected crash: lease left to expire
+            obs.emit("sources", kind="worker", attrs={
+                "trace_source": trace_source,
+                "kernel_source": kernel_source})
+        if shard is not None:
+            shard.snapshot_event()
 
     result_payload = {
         "job_id": job_id,
@@ -165,6 +196,34 @@ def _run_job(broker: FileBroker, leased: LeasedJob,
         broker.complete(job_id, {}, raw=bytes(data))
     else:
         broker.complete(job_id, result_payload)
+
+
+def _record_worker_error(broker: FileBroker, leased: LeasedJob,
+                         exc: BaseException) -> None:
+    """Append one structured crash line to ``<broker>/obs/worker-errors``.
+
+    The scheduler's crash-loop diagnostics (and ``python -m repro.obs``
+    users pointed at a preserved broker directory) attribute worker
+    deaths to specific batches from these lines; the raw stdout/stderr
+    log remains the fallback.  Best-effort: recording must never mask
+    the original failure.
+    """
+    from repro.obs.ledger import append_jsonl
+
+    payload = leased.message.payload if leased.message is not None else {}
+    try:
+        append_jsonl(broker.directory / "obs" / "worker-errors.jsonl", {
+            "ts": time.time(),
+            "worker": os.getpid(),
+            "job": leased.job_id,
+            "batch": payload.get("batch_id"),
+            "attempt": payload.get("attempt"),
+            "lease": str(broker.leased_dir / f"{leased.job_id}.msg"),
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        })
+    except Exception:  # noqa: BLE001 - diagnostics only
+        pass
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -199,7 +258,11 @@ def main(argv: list[str] | None = None) -> int:
                 return 0
             time.sleep(args.poll)
             continue
-        _run_job(broker, leased, state)
+        try:
+            _run_job(broker, leased, state)
+        except Exception as exc:  # noqa: BLE001 - recorded, then fatal
+            _record_worker_error(broker, leased, exc)
+            raise
         state.jobs_done += 1
         idle_since = time.monotonic()
         if args.max_jobs is not None and state.jobs_done >= args.max_jobs:

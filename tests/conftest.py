@@ -48,6 +48,24 @@ def isolated_trace_store(tmp_path_factory):
         os.environ["REPRO_TRACE_DIR"] = previous
 
 
+@pytest.fixture(scope="session", autouse=True)
+def isolated_obs_dir(tmp_path_factory):
+    """Point telemetry run ledgers at a throwaway directory.
+
+    Telemetry is off by default, but CI runs one tier-1 leg with
+    ``REPRO_OBS=1`` (the suite must pass identically with the flight
+    recorder on), and no test run may write into
+    ``benchmarks/results/obs/``.
+    """
+    previous = os.environ.get("REPRO_OBS_DIR")
+    os.environ["REPRO_OBS_DIR"] = str(tmp_path_factory.mktemp("obs"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_OBS_DIR", None)
+    else:
+        os.environ["REPRO_OBS_DIR"] = previous
+
+
 @pytest.fixture
 def tiny_machine():
     """The 20-stage paper machine."""

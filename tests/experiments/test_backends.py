@@ -256,19 +256,27 @@ class TestFileBrokerStateMachine:
         broker.lease()
         broker.tick("j1", 0)
         broker.tick("j1", 1)
-        assert broker.drain_ticks() == [("j1", 0), ("j1", 1)]
+        assert broker.drain_ticks() == [("j1", 0, None), ("j1", 1, None)]
         assert broker.drain_ticks() == []
         broker.tick("j1", 2)
-        assert broker.drain_ticks() == [("j1", 2)]
+        assert broker.drain_ticks() == [("j1", 2, None)]
+
+    def test_ticks_carry_optional_durations(self, tmp_path):
+        broker = FileBroker(tmp_path)
+        broker.submit("j1", {})
+        broker.lease()
+        broker.tick("j1", 0, 0.25)
+        broker.tick("j1", 1)             # legacy bare-index line
+        assert broker.drain_ticks() == [("j1", 0, 0.25), ("j1", 1, None)]
 
     def test_torn_tick_line_is_left_for_next_drain(self, tmp_path):
         broker = FileBroker(tmp_path)
         path = broker.ticks_dir / "j1.ticks"
         path.write_bytes(b"0\n1")        # "1" has no newline yet
-        assert broker.drain_ticks() == [("j1", 0)]
+        assert broker.drain_ticks() == [("j1", 0, None)]
         with open(path, "ab") as handle:
             handle.write(b"\n")
-        assert broker.drain_ticks() == [("j1", 1)]
+        assert broker.drain_ticks() == [("j1", 1, None)]
 
     def test_corrupt_result_surfaces_as_message_error(self, tmp_path):
         broker = FileBroker(tmp_path)

@@ -1,0 +1,114 @@
+"""Interval sampling: delta math, and the do-no-harm engine identity.
+
+The sampler is the only telemetry that rides *inside* the fused commit
+loop, so it carries the strongest obligation: attaching one must leave
+the ``SimulationResult`` bit-for-bit identical for any sampling period
+(the hypothesis property below), because it only ever reads counters
+the engine already maintains.
+"""
+
+import functools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.interval import IntervalSample, IntervalSampler
+from repro.pipeline.config import machine_for_depth
+from repro.pipeline.engine import PipelineEngine, build_predictor
+from repro.predictors.twolevel import LevelTwoKind
+
+from tests.conftest import build_counted_loop, build_memory_loop
+
+
+class _FakeDDT:
+    def __init__(self, in_flight=3):
+        self.in_flight = in_flight
+
+    def chain_length(self, *pregs):
+        return len(pregs)
+
+
+class TestSamplerUnit:
+    def test_thresholds_and_interval_deltas(self):
+        sampler = IntervalSampler(every=100)
+        assert sampler.first_threshold == 100
+        ddt = _FakeDDT(in_flight=5)
+
+        nxt = sampler.record(130, 79, 12, ddt, (1, 2, 3),
+                             cond_branches=20, final_correct=18)
+        assert nxt == 200                     # next multiple of `every`
+        nxt = sampler.record(250, 199, 4, ddt, (),
+                             cond_branches=50, final_correct=44)
+        assert nxt == 300
+
+        first, second = sampler.samples
+        assert first == IntervalSample(
+            cycle=130, instructions=80, ipc=80 / 130, branches=20,
+            mispredicts=2, rob_occupancy=12, ddt_in_flight=5,
+            chain_length=3)
+        # Second sample is deltas against the first, not run totals.
+        assert second.instructions == 200
+        assert second.ipc == pytest.approx(120 / 120)
+        assert second.branches == 30
+        assert second.mispredicts == 30 - (44 - 18)
+        assert second.chain_length == 0
+
+    def test_stalled_interval_skips_to_next_boundary(self):
+        """A long stall (commit cycle jumps many periods) yields one
+        sample and a boundary beyond the current cycle, never a burst."""
+        sampler = IntervalSampler(every=100)
+        nxt = sampler.record(1730, 9, 0, _FakeDDT(), (), 0, 0)
+        assert nxt == 1800
+
+    def test_every_is_clamped_positive(self):
+        assert IntervalSampler(every=0).every == 1
+        assert IntervalSampler(every=-5).every == 1
+
+    def test_to_attrs_is_ledger_ready(self):
+        sampler = IntervalSampler(every=10)
+        sampler.record(10, 9, 2, _FakeDDT(in_flight=1), (4,), 3, 3)
+        attrs = sampler.samples[0].to_attrs()
+        assert attrs == {"cycle": 10, "instructions": 10, "ipc": 1.0,
+                         "branches": 3, "mispredicts": 0,
+                         "rob_occupancy": 2, "ddt_in_flight": 1,
+                         "chain_length": 1}
+
+
+def _run(program, sampler=None):
+    config = machine_for_depth(20)
+    predictor = build_predictor(LevelTwoKind.HYBRID, config)
+    engine = PipelineEngine(program, config, predictor,
+                            warmup_instructions=20, sampler=sampler)
+    return engine.run()
+
+
+@functools.lru_cache(maxsize=None)
+def _baseline(loop: str):
+    program = (build_counted_loop(200) if loop == "counted"
+               else build_memory_loop(24))
+    return program, _run(program)
+
+
+class TestEngineIdentity:
+    def test_sampler_collects_without_perturbing(self):
+        program, expected = _baseline("counted")
+        sampler = IntervalSampler(every=64)
+        assert _run(program, sampler) == expected
+        assert sampler.samples
+        cycles = [sample.cycle for sample in sampler.samples]
+        assert cycles == sorted(cycles)
+        assert all(a < b for a, b in zip(cycles, cycles[1:]))
+        instructions = [s.instructions for s in sampler.samples]
+        assert instructions == sorted(instructions)
+        assert instructions[-1] <= expected.instructions
+
+    @settings(max_examples=25, deadline=None)
+    @given(every=st.integers(1, 4096),
+           loop=st.sampled_from(["counted", "memory"]))
+    def test_any_period_is_bit_identical(self, every, loop):
+        """The ISSUE identity property: REPRO_OBS interval sampling, at
+        any period (denser-than-every-cycle through never-fires), leaves
+        the SimulationResult bit-for-bit equal to an unsampled run."""
+        program, expected = _baseline(loop)
+        assert _run(program, IntervalSampler(every=every)) == expected
