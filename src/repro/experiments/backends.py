@@ -59,8 +59,32 @@ from repro.experiments.broker import (
     RemotePointError,
 )
 from repro.experiments.plan import ExperimentPoint
+from repro.faults.policy import RetryPolicy, point_deadline
 
 Batches = Mapping[str, tuple[ExperimentPoint, ...]]
+
+
+class BackendUnavailable(QueueError):
+    """A backend cannot run here at all (as opposed to a job failing).
+
+    Raised when the environment, not the work, is broken: worker
+    processes cannot be spawned, or spawn fine but crash-loop without
+    ever producing a result.  The scheduler catches this and walks the
+    degradation ladder (queue → local → serial, ``REPRO_DEGRADE``)
+    instead of abandoning the grid — the points themselves are
+    backend-agnostic, so a healthier backend produces identical results.
+    """
+
+
+#: Graceful-degradation ladder: who takes over when a backend reports
+#: itself unavailable.  Serial is the floor — it has no moving parts.
+_DEGRADE_LADDER = {"queue": "local", "local": "serial"}
+
+
+def degrade_target(engine: ExecutionBackend) -> "ExecutionBackend | None":
+    """The next backend down the ladder, or None at the floor."""
+    name = _DEGRADE_LADDER.get(engine.name)
+    return BACKENDS[name]() if name is not None else None
 
 
 class BackendReport(Protocol):
@@ -206,7 +230,8 @@ def _compute_batch(points: tuple[ExperimentPoint, ...],
                         ticker = None  # not take the results down with it
                 started = time.perf_counter()
                 try:
-                    result = execute_point(point, trace=point_trace)
+                    with point_deadline():
+                        result = execute_point(point, trace=point_trace)
                 except Exception as exc:  # noqa: BLE001 - relayed to parent
                     entries.append(("error", _relayable_exception(exc)))
                     continue
@@ -341,8 +366,9 @@ class SerialBackend(ExecutionBackend):
                         report.tick(batch_id, LOWER_TICK)
                     started = time.perf_counter()
                     try:
-                        payload = execute_point(
-                            point, trace=point_trace).to_dict()
+                        with point_deadline():
+                            payload = execute_point(
+                                point, trace=point_trace).to_dict()
                     except Exception as exc:  # noqa: BLE001 - per point
                         report.fail(batch_id, index, exc)
                         continue
@@ -527,6 +553,11 @@ class QueueBackend(ExecutionBackend):
         self.poll = poll
         self.worker_args = tuple(worker_args)
         self.timeout = timeout
+        # Requeue pacing: bounded attempts are self.max_attempts; the
+        # policy adds exponential backoff with deterministic jitter
+        # (REPRO_RETRY_BACKOFF) so a flapping worker pool is not hammered
+        # with instant resubmits.
+        self.retry_policy = RetryPolicy.from_env(max_attempts=self.max_attempts)
         # Per-execute observability (reset each run).
         self.trace_sources: dict[str, str] = {}
         self.kernel_sources: dict[str, str] = {}
@@ -647,6 +678,9 @@ class QueueBackend(ExecutionBackend):
                     f"batch {job.batch_id} failed after "
                     f"{job.attempts} attempt(s): "
                     + "; ".join(job.history))
+                # The attempt history rides along for the deadletter
+                # quarantine (scheduler-side).
+                error.history = list(job.history)
                 for index in range(len(job.points)):
                     report.fail(job.batch_id, index, error)
                 return
@@ -656,6 +690,9 @@ class QueueBackend(ExecutionBackend):
             obs.emit("requeue", kind="queue", attrs={
                 "job": job_id, "attempt": job.attempts,
                 "reason": reason[:200]})
+            pause = self.retry_policy.delay(job.attempts, job_id)
+            if pause > 0.0:
+                time.sleep(pause)
             submit(job_id)
 
         for job_id in jobs_map:
@@ -679,8 +716,12 @@ class QueueBackend(ExecutionBackend):
         started = time.monotonic()
         respawns_since_progress = 0
         try:
-            for index in range(workers):
-                procs.append(self._spawn_worker(broker_dir, index, logs))
+            try:
+                for index in range(workers):
+                    procs.append(self._spawn_worker(broker_dir, index, logs))
+            except OSError as exc:
+                raise BackendUnavailable(
+                    f"cannot spawn queue workers: {exc}") from exc
             while outstanding:
                 drain_ticks()
                 for job_id, outcome in broker.collect_results():
@@ -745,16 +786,23 @@ class QueueBackend(ExecutionBackend):
                                 "exited_pid": proc.pid,
                                 "returncode": proc.returncode,
                                 "respawns": self.respawns})
-                            procs[index] = self._spawn_worker(
-                                broker_dir, len(procs) + self.respawns,
-                                logs)
+                            try:
+                                procs[index] = self._spawn_worker(
+                                    broker_dir, len(procs) + self.respawns,
+                                    logs)
+                            except OSError as exc:
+                                raise BackendUnavailable(
+                                    f"cannot respawn queue worker: {exc}"
+                                ) from exc
                     # Workers crash-looping without ever producing a
                     # result means the worker environment is broken (an
                     # import error, a missing interpreter feature) — a
-                    # retry can never fix that, so fail loudly with the
-                    # evidence instead of respawning forever.
+                    # retry can never fix that.  Report the backend
+                    # unavailable (with the evidence) so the scheduler
+                    # can degrade to a backend with no worker processes
+                    # instead of respawning forever.
                     if respawns_since_progress > 3 * len(procs) + 5:
-                        raise QueueError(
+                        raise BackendUnavailable(
                             "queue workers are crash-looping without "
                             "producing results; diagnostics:\n"
                             + _crash_report(broker_dir))

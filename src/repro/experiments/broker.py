@@ -26,10 +26,14 @@ Queue state machine (the scheduler side lives in
 * a worker ``lease``\\ s by atomically renaming the file into
   ``leased/`` — rename either succeeds for exactly one worker or raises,
   so no job is ever double-leased;
-* the leased file's mtime is the lease heartbeat: ``renew`` (and every
-  per-point ``tick``) touches it, and :meth:`FileBroker.expired` reports
-  jobs whose heartbeat is older than ``lease_timeout`` so the scheduler
-  can requeue work held by a crashed or wedged worker;
+* the lease heartbeat is a **monotonic counter** in a ``.hb`` sidecar
+  next to the leased file: ``renew`` (and every per-point ``tick``)
+  increments it, and :meth:`FileBroker.expired` reports jobs whose
+  counter has not advanced for ``lease_timeout`` seconds *of the
+  scheduler's own monotonic clock* — immune to wall-clock skew between
+  hosts and to coarse-mtime filesystems.  The file mtime (also touched
+  by ``renew``) remains the fallback for a lease this scheduler has
+  never observed before, e.g. one taken before the scheduler restarted;
 * ``complete`` atomically publishes a result message into ``results/``
   and releases the lease; :meth:`FileBroker.collect_results` consumes
   result files, surfacing undecodable ones as :class:`MessageError`
@@ -45,8 +49,12 @@ import json
 import os
 import pathlib
 import struct
-import tempfile
+import time
 from dataclasses import dataclass
+
+from repro.faults import fsio
+from repro.faults.injector import active as _faults_active
+from repro.faults.policy import RetriesExhausted, RetryPolicy
 
 #: Versions the framing + digest rules; mismatches are decode errors.
 MESSAGE_FORMAT_VERSION = 1
@@ -157,6 +165,14 @@ class FileBroker:
             path.mkdir(parents=True, exist_ok=True)
         # Read offset per tick file, so drain_ticks is incremental.
         self._tick_offsets: dict[str, int] = {}
+        # Scheduler-side heartbeat tracking: job -> (last counter value,
+        # monotonic instant we saw it change).  Worker-side: job -> the
+        # counter value this process last wrote.
+        self._hb_seen: dict[str, tuple[int | None, float]] = {}
+        self._hb_counts: dict[str, int] = {}
+        # Transient-I/O policy for submit/complete/tick (backoff knob
+        # shared with the queue's job-level retries via the env).
+        self._retry = RetryPolicy.from_env(max_attempts=3)
 
     # -- low-level helpers ---------------------------------------------------
 
@@ -167,26 +183,50 @@ class FileBroker:
             raise ValueError(f"malformed job id {job_id!r}")
         return job_id
 
-    def _atomic_write(self, path: pathlib.Path, data: bytes) -> None:
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    def _atomic_write(self, path: pathlib.Path, data: bytes, *,
+                      site: str | None = None) -> None:
+        fsio.atomic_write_bytes(path, data, site=site)
+
+    def _hb_path(self, job_id: str) -> pathlib.Path:
+        return self.leased_dir / f"{job_id}.hb"
+
+    def _write_heartbeat(self, job_id: str, count: int) -> None:
         try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+            # No fsync: heartbeats are advisory liveness, not results.
+            fsio.atomic_write_bytes(self._hb_path(job_id),
+                                    str(count).encode(), fsync=False)
+        except OSError:
+            pass
+
+    def _read_heartbeat(self, job_id: str) -> int | None:
+        try:
+            return int(self._hb_path(job_id).read_bytes())
+        except (OSError, ValueError):
+            return None
+
+    def _forget_lease(self, job_id: str) -> None:
+        self._hb_seen.pop(job_id, None)
+        self._hb_counts.pop(job_id, None)
+        try:
+            os.unlink(self._hb_path(job_id))
+        except OSError:
+            pass
 
     # -- scheduler side ------------------------------------------------------
 
     def submit(self, job_id: str, payload: dict, blob: bytes = b"") -> None:
-        """Enqueue one job message (atomically visible to workers)."""
+        """Enqueue one job message (atomically visible to workers).
+
+        Transient ``OSError`` (real or injected) is retried under the
+        broker's :class:`~repro.faults.policy.RetryPolicy`; exhaustion
+        raises the typed :class:`~repro.faults.policy.RetriesExhausted`.
+        """
         self._check_job_id(job_id)
-        self._atomic_write(self.queue_dir / f"{job_id}.msg",
-                           encode_message("job", payload, blob))
+        data = encode_message("job", payload, blob)
+        self._retry.call(
+            lambda: self._atomic_write(self.queue_dir / f"{job_id}.msg",
+                                       data, site="broker.submit"),
+            key=f"submit/{job_id}", what=f"submit of job {job_id}")
 
     def remove(self, job_id: str) -> None:
         """Withdraw a job from the queue and release any lease on it."""
@@ -196,6 +236,7 @@ class FileBroker:
                 os.unlink(directory / f"{job_id}.msg")
             except OSError:
                 pass
+        self._forget_lease(job_id)
 
     def drain_ticks(self) -> list[tuple[str, int, float | None]]:
         """New per-point progress ticks since the last drain.
@@ -252,25 +293,47 @@ class FileBroker:
         return collected
 
     def expired(self) -> list[str]:
-        """Leased jobs whose heartbeat is older than ``lease_timeout``."""
-        import time
+        """Leased jobs whose heartbeat has stalled for ``lease_timeout``.
 
-        deadline = time.time() - self.lease_timeout
+        Liveness is judged by the monotonic heartbeat *counter* in the
+        lease's ``.hb`` sidecar, aged against this process's own
+        monotonic clock — wall-clock skew between scheduler and worker
+        hosts cannot misfire it.  A lease observed for the first time
+        (taken before this scheduler started watching) falls back to the
+        file-mtime test once, then joins counter tracking.
+        """
+        now = time.monotonic()
+        mtime_deadline = time.time() - self.lease_timeout
         stale = []
         for path in self.leased_dir.glob("*.msg"):
+            job_id = path.stem
             try:
-                if path.stat().st_mtime < deadline:
-                    stale.append(path.stem)
+                mtime = path.stat().st_mtime
             except OSError:
+                self._hb_seen.pop(job_id, None)
+                continue  # completed/withdrawn between glob and stat
+            count = self._read_heartbeat(job_id)
+            record = self._hb_seen.get(job_id)
+            if record is None:
+                self._hb_seen[job_id] = (count, now)
+                if mtime < mtime_deadline:
+                    stale.append(job_id)
                 continue
+            seen_count, seen_at = record
+            if count is not None and count != seen_count:
+                self._hb_seen[job_id] = (count, now)
+                continue
+            if now - seen_at > self.lease_timeout:
+                stale.append(job_id)
         return stale
 
     def lease_age(self, job_id: str) -> float | None:
-        """Seconds since a leased job's last heartbeat, or None."""
-        import time
-
+        """Seconds since a leased job's last observed heartbeat, or None."""
         try:
             path = self.leased_dir / f"{self._check_job_id(job_id)}.msg"
+            record = self._hb_seen.get(job_id)
+            if record is not None and path.exists():
+                return max(0.0, time.monotonic() - record[1])
             return max(0.0, time.time() - path.stat().st_mtime)
         except (OSError, ValueError):
             return None
@@ -307,6 +370,8 @@ class FileBroker:
                 # instant between our rename and this read — it is no
                 # longer ours; move on.
                 continue
+            self._hb_counts[path.stem] = 0
+            self._write_heartbeat(path.stem, 0)
             try:
                 message = decode_message(data)
             except MessageError as exc:
@@ -315,11 +380,19 @@ class FileBroker:
         return None
 
     def renew(self, job_id: str) -> None:
-        """Heartbeat: push the lease expiry out by touching the file."""
+        """Heartbeat: advance the lease's monotonic counter (+ mtime)."""
+        self._check_job_id(job_id)
+        injector = _faults_active()
+        if injector is not None \
+                and injector.heartbeat_stalled(self.lease_timeout):
+            return  # injected stall: the scheduler must expire us
         try:
-            os.utime(self.leased_dir / f"{self._check_job_id(job_id)}.msg")
+            os.utime(self.leased_dir / f"{job_id}.msg")
         except OSError:
-            pass  # lease already reclaimed; the result dedupe handles it
+            return  # lease already reclaimed; the result dedupe handles it
+        count = self._hb_counts.get(job_id, 0) + 1
+        self._hb_counts[job_id] = count
+        self._write_heartbeat(job_id, count)
 
     def tick(self, job_id: str, index: int,
              duration: float | None = None) -> None:
@@ -327,8 +400,19 @@ class FileBroker:
         self._check_job_id(job_id)
         line = f"{index}\n" if duration is None \
             else f"{index}:{duration:.6f}\n"
-        with open(self.ticks_dir / f"{job_id}.ticks", "ab") as handle:
-            handle.write(line.encode())
+
+        def _append() -> None:
+            injector = _faults_active()
+            if injector is not None:
+                injector.maybe_io_error("broker.tick")
+            with open(self.ticks_dir / f"{job_id}.ticks", "ab") as handle:
+                handle.write(line.encode())
+
+        try:
+            self._retry.call(_append, key=f"tick/{job_id}/{index}",
+                             what=f"tick for job {job_id}")
+        except RetriesExhausted:
+            pass  # ticks are progress hints; the result is what matters
         self.renew(job_id)
 
     def complete(self, job_id: str, payload: dict, blob: bytes = b"", *,
@@ -336,13 +420,36 @@ class FileBroker:
         """Publish a result message and release the lease.
 
         ``raw`` bypasses encoding — it exists for fault injection (the
-        worker's ``--corrupt-results`` flag) and tests.
+        worker's ``--corrupt-results`` flag) and tests.  Transient
+        ``OSError`` on the result write is retried like ``submit``.
         """
         self._check_job_id(job_id)
         data = raw if raw is not None \
             else encode_message("result", payload, blob)
-        self._atomic_write(self.results_dir / f"{job_id}.msg", data)
+        self._retry.call(
+            lambda: self._atomic_write(self.results_dir / f"{job_id}.msg",
+                                       data, site="broker.complete"),
+            key=f"complete/{job_id}", what=f"result publish for job {job_id}")
         try:
             os.unlink(self.leased_dir / f"{job_id}.msg")
         except OSError:
             pass
+        self._forget_lease(job_id)
+
+    def release(self, job_id: str) -> bool:
+        """Hand a leased job back to the queue (graceful shutdown).
+
+        The opposite of :meth:`lease`: the leased file atomically moves
+        back into ``queue/`` so the next worker picks it up immediately
+        instead of waiting out the lease timeout.  Returns False when
+        the lease is no longer ours (already expired and requeued, or
+        completed) — callers should then just carry on.
+        """
+        self._check_job_id(job_id)
+        try:
+            os.rename(self.leased_dir / f"{job_id}.msg",
+                      self.queue_dir / f"{job_id}.msg")
+        except OSError:
+            return False
+        self._forget_lease(job_id)
+        return True

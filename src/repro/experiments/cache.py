@@ -9,25 +9,38 @@ verbatim: the deserialized result compares equal to a fresh run.
 Robustness rules:
 
 * a corrupted, truncated or schema-mismatched cache file is treated as a
-  miss (and the point recomputed) — never an error;
-* writes are atomic (temp file + ``os.replace``) so a crashed or
-  concurrent run cannot leave a half-written entry that later loads;
+  miss (and the point recomputed) — never an error; since format 2 every
+  entry carries a SHA-256 digest of its result payload, so even a
+  single flipped bit that still parses as JSON is detected as a miss
+  rather than replayed as a silently different result;
+* writes are atomic and durable (temp file + fsync + ``os.replace`` via
+  :mod:`repro.faults.fsio`; ``REPRO_FSYNC=0`` drops the fsync) so a
+  crashed run — or a crashed *host* — cannot leave a half-written entry
+  that later loads;
 * ``REPRO_CACHE=0`` disables caching entirely; ``REPRO_CACHE_DIR``
   relocates the store.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
-import tempfile
 
+from repro.faults import fsio
 from repro.pipeline.stats import SimulationResult
 
 #: Format version of the cache files themselves (distinct from the plan
 #: schema, which versions the *key*); mismatched entries are misses.
-CACHE_FORMAT_VERSION = 1
+#: v2 added the result-payload digest.
+CACHE_FORMAT_VERSION = 2
+
+
+def _result_digest(result_dict: dict) -> str:
+    canonical = json.dumps(result_dict, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 def cache_enabled() -> bool:
     return os.environ.get("REPRO_CACHE", "1") not in ("0", "false", "no")
@@ -68,6 +81,8 @@ class ResultCache:
             payload = json.loads(path.read_text())
             if payload.get("format") != CACHE_FORMAT_VERSION:
                 raise ValueError("cache format mismatch")
+            if payload.get("sha256") != _result_digest(payload["result"]):
+                raise ValueError("cache entry digest mismatch")
             result = SimulationResult.from_dict(payload["result"])
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             self.misses += 1
@@ -76,22 +91,15 @@ class ResultCache:
         return result
 
     def put(self, key: str, result: SimulationResult) -> None:
-        """Atomically persist one result under its point key."""
+        """Atomically and durably persist one result under its point key."""
         path = self._path(key)
         self.directory.mkdir(parents=True, exist_ok=True)
+        result_dict = result.to_dict()
         payload = {"format": CACHE_FORMAT_VERSION, "key": key,
-                   "result": result.to_dict()}
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                   "result": result_dict,
+                   "sha256": _result_digest(result_dict)}
+        fsio.atomic_write_bytes(path, json.dumps(payload).encode(),
+                                site="cache.put")
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

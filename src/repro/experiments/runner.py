@@ -222,6 +222,7 @@ def run_suite(configurations=CONFIGURATIONS, depths=(20,),
               progress: ProgressCallback | None = None,
               batch: bool | None = None,
               backend=None,
+              manifest=None,
               ) -> dict[tuple[str, str, int], SimulationResult]:
     """Run a grid of experiment points; keyed (benchmark, config, depth).
 
@@ -237,11 +238,13 @@ def run_suite(configurations=CONFIGURATIONS, depths=(20,),
     build (results are identical either way).  ``backend=None`` honours
     ``REPRO_BACKEND`` (``serial`` | ``local`` | ``queue``; see
     :mod:`repro.experiments.backends`) — results are bit-for-bit equal
-    on every backend.
+    on every backend.  ``manifest=None`` honours ``REPRO_MANIFEST``
+    (crash-safe resumable runs; see :func:`run_plan`).
     """
     plan = build_plan(configurations, depths, benchmarks, scale=scale,
                       warmup=warmup, seed=seed, arvi_config=arvi_config,
                       speculation=speculation)
     results = run_plan(plan, jobs=jobs, cache=cache, use_cache=use_cache,
-                       progress=progress, batch=batch, backend=backend)
+                       progress=progress, batch=batch, backend=backend,
+                       manifest=manifest)
     return {point.grid_key: result for point, result in results.items()}

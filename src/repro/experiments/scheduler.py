@@ -59,11 +59,13 @@ from typing import Callable
 
 from repro import obs
 from repro.experiments.backends import (
+    BackendUnavailable,
     ExecutionBackend,
     _compute_batch,
     _make_batches,
     default_batching,
     default_jobs,
+    degrade_target,
     resolve_backend,
 )
 from repro.experiments.cache import ResultCache, default_cache
@@ -72,6 +74,12 @@ from repro.experiments.plan import (
     ExperimentPoint,
     plan_from_points,
     point_key,
+)
+from repro.faults.manifest import resolve_manifest
+from repro.faults.policy import (
+    DeadletterStore,
+    deadletter_enabled,
+    degrade_enabled,
 )
 from repro.pipeline.stats import SimulationResult
 
@@ -97,7 +105,8 @@ class ProgressEvent:
     key: str
     completed: int            # points done so far (including this one)
     total: int                # points in the plan
-    source: str               # "cache" | "serial" | "worker" | "queue"
+    source: str               # "cache" | "manifest" | "serial" | "worker"
+                              # | "queue"
     elapsed: float            # seconds since run_plan started
     batch_id: str | None = None   # worker batch the point travelled in
     batch_size: int = 1           # points in that batch
@@ -172,6 +181,7 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
              progress: ProgressCallback | None = None,
              batch: bool | None = None,
              backend: "str | ExecutionBackend | None" = None,
+             manifest=None,
              ) -> dict[ExperimentPoint, SimulationResult]:
     """Execute a plan; returns {resolved point -> result}.
 
@@ -183,7 +193,13 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
     ``backend=None`` honours ``REPRO_BACKEND`` (``serial`` | ``local`` |
     ``queue``; unset = serial for one worker, local pool otherwise); it
     also accepts a configured :class:`~repro.experiments.backends.
-    ExecutionBackend` instance.
+    ExecutionBackend` instance.  ``manifest=None`` honours
+    ``REPRO_MANIFEST`` (default off); a directory path or ``True``
+    enables the crash-safe run manifest (``False`` forces it off): a
+    killed grid restarted with the same plan replays the points its
+    manifest recorded (``source="manifest"`` events) and executes only
+    the remainder, converging to bit-identical results
+    (:mod:`repro.faults.manifest`).
     """
     telemetry = None
     if obs.enabled() and obs.current() is None:
@@ -194,14 +210,16 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
         with obs.span("plan", kind="plan", attrs={"points": len(plan)}):
             return _run_plan(plan, jobs=jobs, cache=cache,
                              use_cache=use_cache, progress=progress,
-                             batch=batch, backend=backend)
+                             batch=batch, backend=backend,
+                             manifest=manifest)
     finally:
         if telemetry is not None:
             obs.close_run(telemetry)
 
 
 def _run_plan(plan: ExperimentPlan, *, jobs, cache, use_cache, progress,
-              batch, backend) -> dict[ExperimentPoint, SimulationResult]:
+              batch, backend, manifest,
+              ) -> dict[ExperimentPoint, SimulationResult]:
     started = time.perf_counter()
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     batch = default_batching() if batch is None else bool(batch)
@@ -213,12 +231,20 @@ def _run_plan(plan: ExperimentPlan, *, jobs, cache, use_cache, progress,
     keys = {point: point_key(point) for point in plan}
     results: dict[ExperimentPoint, SimulationResult] = {}
     done = 0
+    # Per-point event dedupe across *backend attempts*: when a backend
+    # degrades mid-grid, a point that ticked in the aborted attempt but
+    # re-runs under the fallback must not advance ``completed`` twice
+    # (per-report tick dedupe can't see across reports).
+    emitted: set[str] = set()
 
     def emit(point: ExperimentPoint, source: str,
              batch_id: str | None = None, batch_size: int = 1,
              phase: str = "point", duration: float | None = None) -> None:
         nonlocal done
         if phase == "point":
+            if keys[point] in emitted:
+                return
+            emitted.add(keys[point])
             done += 1
         attrs = {"benchmark": point.benchmark,
                  "configuration": point.configuration,
@@ -239,36 +265,106 @@ def _run_plan(plan: ExperimentPlan, *, jobs, cache, use_cache, progress,
                 batch_id=batch_id, batch_size=batch_size, phase=phase,
                 timestamp=time.time(), duration=duration))
 
-    pending: list[ExperimentPoint] = []
-    for point in plan:
-        hit = cache.get(keys[point]) if cache is not None else None
-        if cache is not None:
-            obs.inc("cache.hit" if hit is not None else "cache.miss")
-        if hit is not None:
-            results[point] = hit
-            emit(point, "cache")
-        else:
-            pending.append(point)
-
-    if pending:
-        engine = resolve_backend(backend, jobs=jobs, pending=len(pending))
-        batches = (_make_batches(pending, jobs) if batch
-                   else [(point,) for point in pending])
-        groups = {f"batch-{index}": group
-                  for index, group in enumerate(batches)}
+    store = resolve_manifest(manifest, [keys[point] for point in plan])
+    try:
+        pending: list[ExperimentPoint] = []
+        for point in plan:
+            hit = cache.get(keys[point]) if cache is not None else None
+            if cache is not None:
+                obs.inc("cache.hit" if hit is not None else "cache.miss")
+            if hit is not None:
+                results[point] = hit
+                emit(point, "cache")
+            elif store is not None and keys[point] in store.completed:
+                # A previous (possibly killed) run of this exact plan
+                # already completed the point; replay its recorded
+                # payload through the normal delivery path.
+                results[point] = _finish(point, store.completed[keys[point]],
+                                         keys, cache)
+                obs.inc("manifest.replayed")
+                emit(point, "manifest")
+            else:
+                pending.append(point)
 
         def deliver(point: ExperimentPoint, payload: dict) -> None:
             results[point] = _finish(point, payload, keys, cache)
+            if store is not None:
+                store.record(keys[point], payload)
 
-        report = _PlanReport(groups, engine.source, emit, deliver,
-                             wants_ticks=(progress is not None
-                                          or obs.current() is not None))
-        engine.execute(groups, report, jobs=jobs)
-        if report.failure is not None:
+        report: _PlanReport | None = None
+        engine = None
+        while pending:
+            if engine is None:
+                engine = resolve_backend(backend, jobs=jobs,
+                                         pending=len(pending))
+            batches = (_make_batches(pending, jobs) if batch
+                       else [(point,) for point in pending])
+            groups = {f"batch-{index}": group
+                      for index, group in enumerate(batches)}
+            report = _PlanReport(groups, engine.source, emit, deliver,
+                                 wants_ticks=(progress is not None
+                                              or obs.current() is not None))
+            try:
+                engine.execute(groups, report, jobs=jobs)
+                break
+            except BackendUnavailable as exc:
+                fallback = degrade_target(engine) if degrade_enabled() \
+                    else None
+                if fallback is None:
+                    raise
+                obs.inc("backend.degrade")
+                obs.emit("degrade", kind="backend", attrs={
+                    "from": engine.name, "to": fallback.name,
+                    "reason": str(exc)[:300]})
+                engine = fallback
+                # Whatever the failed attempt already delivered stays
+                # delivered; only the remainder moves down the ladder.
+                # Its collected failures are attempt artifacts (the
+                # fallback re-runs those points), so the report resets.
+                pending = [p for p in pending if p not in results]
+                report = None
+
+        if report is not None and report.failure is not None:
+            quarantined = _quarantine(report.failures, keys)
+            if quarantined is not None:
+                report.failure.add_note(
+                    f"{len(report.failures)} failed point(s) quarantined "
+                    f"to {quarantined} (inspect with `python -m repro.obs "
+                    f"deadletter`)")
             raise report.failure
+    finally:
+        if store is not None:
+            store.close()
 
     # Return in plan order regardless of completion order.
     return {point: results[point] for point in plan}
+
+
+def _quarantine(failures, keys) -> "str | None":
+    """Write failed points to the deadletter store; returns its dir.
+
+    Best-effort by design: quarantine is diagnostics, so an unwritable
+    deadletter directory must never mask the original failure (the
+    caller is about to raise it).
+    """
+    if not deadletter_enabled() or not failures:
+        return None
+    store = DeadletterStore()
+    try:
+        for point, error in failures:
+            store.add({
+                "point": point.to_dict() if point is not None else None,
+                "key": keys.get(point) if point is not None else None,
+                "error": {"type": type(error).__name__,
+                          "message": str(error)},
+                "history": list(getattr(error, "history", ())),
+                "notes": list(getattr(error, "__notes__", ())),
+            })
+    except OSError:
+        return None
+    obs.emit("quarantined", kind="backend", attrs={
+        "points": len(failures), "directory": str(store.directory)})
+    return str(store.directory)
 
 
 def _finish(point: ExperimentPoint, payload: dict,
@@ -285,8 +381,9 @@ def run_points(points, *, jobs: int | None = None,
                progress: ProgressCallback | None = None,
                batch: bool | None = None,
                backend: "str | ExecutionBackend | None" = None,
+               manifest=None,
                ) -> dict[ExperimentPoint, SimulationResult]:
     """Convenience wrapper: plan from explicit points, then run."""
     return run_plan(plan_from_points(points), jobs=jobs, cache=cache,
                     use_cache=use_cache, progress=progress, batch=batch,
-                    backend=backend)
+                    backend=backend, manifest=manifest)

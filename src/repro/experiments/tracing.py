@@ -38,10 +38,10 @@ import hashlib
 import json
 import os
 import pathlib
-import tempfile
 from collections import Counter
 
 from repro import obs
+from repro.faults import fsio
 from repro.experiments.plan import ExperimentPoint, code_fingerprint
 from repro.pipeline.functional import DEFAULT_MAX_INSTRUCTIONS
 from repro.pipeline.trace import CommittedTrace, TraceError, TraceRecorder
@@ -134,20 +134,16 @@ class TraceStore:
         return trace
 
     def put(self, key: str, trace: CommittedTrace) -> None:
-        """Atomically persist one trace under its key."""
+        """Atomically and durably persist one trace under its key.
+
+        Routed through :mod:`repro.faults.fsio` (fsync-before-rename,
+        chaos-injectable): a mangled stored trace fails
+        ``CommittedTrace.from_bytes`` validation on the next ``get`` and
+        is simply re-recorded — the store is a cache, never an oracle.
+        """
         path = self._path(key)
         self.directory.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(trace.to_bytes())
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        fsio.atomic_write_bytes(path, trace.to_bytes(), site="trace.put")
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

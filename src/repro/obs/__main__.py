@@ -10,6 +10,11 @@
 * ``validate`` — check every line of a ledger (or a whole run
   directory) against the event schema; exit 1 on any violation.  CI
   runs this over the queue-smoke ledger artifact.
+* ``deadletter`` — list quarantined poison points (grid points that
+  failed all their attempts; DESIGN.md §12): point identity, final
+  error, and the full attempt history.  ``path`` is the deadletter
+  directory (default ``REPRO_DEADLETTER_DIR`` /
+  ``benchmarks/results/deadletter/``).
 
 ``path`` may be a run directory, a ledger file, or an observability
 root (``REPRO_OBS_DIR``) — the newest run is picked automatically when
@@ -249,21 +254,59 @@ def validate(run: pathlib.Path, echo=print) -> int:
     return 0 if bad == 0 else 1
 
 
+def deadletter(path: str | None, echo=print) -> int:
+    """List quarantined points with their attempt histories."""
+    from repro.faults.policy import DeadletterStore, default_deadletter_dir
+
+    directory = pathlib.Path(path) if path else default_deadletter_dir()
+    store = DeadletterStore(directory)
+    entries = store.entries()
+    if not entries:
+        echo(f"{directory}: no quarantined points")
+        return 0
+    echo(f"{directory}: {len(entries)} quarantined point(s)")
+    for entry in entries:
+        point = entry.get("point") or {}
+        error = entry.get("error") or {}
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(entry.get("ts", 0)))
+        label = " ".join(str(part) for part in (
+            point.get("benchmark"), point.get("configuration"),
+            f"d{point.get('pipeline_depth')}"
+            if point.get("pipeline_depth") is not None else None,
+            point.get("speculation")) if part is not None)
+        echo("")
+        echo(f"- {label or '(unknown point)'}  [{stamp}]")
+        if entry.get("key"):
+            echo(f"  key: {entry['key']}")
+        echo(f"  error: {error.get('type', 'Error')}: "
+             f"{error.get('message', '')}")
+        for line in entry.get("history") or ():
+            echo(f"  {line}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Inspect telemetry run ledgers (REPRO_OBS=1).")
     parser.add_argument("command", nargs="?", default="summary",
-                        choices=("summary", "tail", "validate"),
-                        help="summary (default) | tail | validate")
+                        choices=("summary", "tail", "validate",
+                                 "deadletter"),
+                        help="summary (default) | tail | validate | "
+                             "deadletter")
     parser.add_argument("path", nargs="?", default=None,
                         help="run directory, ledger file, or obs root "
-                             "(default: newest run under REPRO_OBS_DIR)")
+                             "(default: newest run under REPRO_OBS_DIR); "
+                             "for deadletter: the quarantine directory")
     parser.add_argument("--no-follow", action="store_true",
                         help="tail: print what exists and exit")
     parser.add_argument("--poll", type=float, default=0.5,
                         help="tail: seconds between polls (default 0.5)")
     args = parser.parse_args(argv)
+    if args.command == "deadletter":
+        # Deadletter directories are not telemetry runs; resolve apart.
+        return deadletter(args.path)
     run = _resolve_run(args.path)
     if args.command == "summary":
         return summary(run)

@@ -46,7 +46,16 @@ EVENT_TYPES = ("span_start", "span_end", "event", "metrics")
 KNOWN_KINDS = (
     "run", "plan", "batch", "point", "phase", "cache", "trace",
     "queue", "lease", "worker", "interval", "metrics", "error",
+    "fault", "backend",
 )
+
+
+def _fsync_enabled() -> bool:
+    """Mirrors :func:`repro.faults.fsio.fsync_enabled` (same knob)."""
+    raw = os.environ.get("REPRO_FSYNC")
+    if raw is None:
+        return True
+    return raw.strip().lower() not in ("", "0", "false", "no", "off")
 
 
 class LedgerError(RuntimeError):
@@ -147,6 +156,13 @@ def merge_streams(paths, out_path: str | os.PathLike) -> int:
             for record in events:
                 handle.write(json.dumps(record, sort_keys=True,
                                         separators=(",", ":")) + "\n")
+            # fsync before rename (REPRO_FSYNC=0 skips) so a host crash
+            # cannot surface an empty-but-renamed ledger.  Local helper,
+            # not repro.faults.fsio: obs must stay import-cycle-free
+            # (faults.injector logs through obs).
+            if _fsync_enabled():
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp, out_path)
     except BaseException:
         try:

@@ -23,7 +23,11 @@ Per job the worker:
 
 A worker that dies mid-batch simply stops heartbeating; the scheduler
 requeues the job after ``lease_timeout`` and another worker picks it
-up.  Exit codes: 0 (idle-exit / ``--max-jobs`` reached), 3 (injected
+up.  **SIGTERM is graceful**: the worker finishes the point it is
+executing, flushes its telemetry shard, hands the lease *back to the
+queue* (so the next worker starts immediately instead of waiting out
+the lease timeout) and exits 0 — no completed-point tick is ever lost.
+Exit codes: 0 (idle-exit / ``--max-jobs`` / SIGTERM), 3 (injected
 crash).
 
 Fault injection (used by the test suite, harmless in production):
@@ -34,14 +38,20 @@ Fault injection (used by the test suite, harmless in production):
   workers proceed normally, making kill-mid-batch tests deterministic;
 * ``--corrupt-results N`` — deliberately corrupt the first N result
   messages this process publishes (the scheduler must detect the
-  checksum failure and requeue, never deliver them).
+  checksum failure and requeue, never deliver them);
+* ``REPRO_FAULTS=<seed>:<profile>`` (:mod:`repro.faults.injector`) —
+  the seeded chaos schedule: slow-point delays and schedule-driven
+  crashes inject here; heartbeat stalls and transient broker I/O
+  errors inject inside the broker calls this module makes.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
+import threading
 import time
 import traceback
 
@@ -51,6 +61,8 @@ from repro.experiments.broker import FileBroker, LeasedJob
 from repro.experiments.plan import ExperimentPoint
 from repro.experiments.runner import execute_point
 from repro.experiments.tracing import SharedTraces
+from repro.faults.injector import active as _faults_active
+from repro.faults.policy import point_deadline
 from repro.pipeline.kernel import LOWER_TICK
 from repro.pipeline.trace import CommittedTrace
 
@@ -85,6 +97,7 @@ class _WorkerState:
         self.completed_points = 0
         self.corrupt_budget = args.corrupt_results
         self.jobs_done = 0
+        self.stop = False  # set by the SIGTERM handler
 
 
 def _run_job(broker: FileBroker, leased: LeasedJob,
@@ -136,7 +149,22 @@ def _run_job(broker: FileBroker, leased: LeasedJob,
                              "attempt": payload.get("attempt"),
                              "points": len(points),
                              "worker": os.getpid()}):
+            injector = _faults_active()
             for index, point in enumerate(points):
+                if state.stop:
+                    # SIGTERM between points: the completed points'
+                    # ticks are already on disk; hand the lease back so
+                    # the next worker re-runs the batch immediately
+                    # instead of waiting out the lease timeout.
+                    if broker.release(job_id):
+                        obs.emit("released", kind="worker", attrs={
+                            "job": job_id, "completed_points": index})
+                        if shard is not None:
+                            shard.snapshot_event()
+                        return
+                    # The lease is no longer ours (expired + requeued);
+                    # finishing and completing is still correct — the
+                    # scheduler dedupes duplicate results.
                 if trace is not None:
                     point_trace = trace \
                         if point.speculation == "redirect" else None
@@ -151,11 +179,16 @@ def _run_job(broker: FileBroker, leased: LeasedJob,
                     # tick).
                     lower_ticked = True
                     broker.tick(job_id, LOWER_TICK)
+                if injector is not None:
+                    delay = injector.slow_delay("worker.point")
+                    if delay > 0.0:
+                        time.sleep(delay)
                 info: dict = {}
                 started = time.perf_counter()
                 try:
-                    result = execute_point(point, trace=point_trace,
-                                           info=info)
+                    with point_deadline():
+                        result = execute_point(point, trace=point_trace,
+                                               info=info)
                 except Exception as exc:  # noqa: BLE001 - per point
                     entries.append(["error", _describe_exception(exc)])
                     continue
@@ -172,6 +205,11 @@ def _run_job(broker: FileBroker, leased: LeasedJob,
                         >= state.args.crash_after_points
                         and _claim_crash_marker(broker)):
                     os._exit(3)  # injected crash: lease left to expire
+                if injector is not None:
+                    # Seeded schedule-driven crash (REPRO_FAULTS): same
+                    # one-per-broker-dir semantics, marker owned by the
+                    # injector.
+                    injector.maybe_crash(broker.directory)
             obs.emit("sources", kind="worker", attrs={
                 "trace_source": trace_source,
                 "kernel_source": kernel_source})
@@ -249,24 +287,43 @@ def main(argv: list[str] | None = None) -> int:
 
     broker = FileBroker(args.broker)
     state = _WorkerState(args)
-    idle_since = time.monotonic()
-    while True:
-        leased = broker.lease()
-        if leased is None:
-            if (args.idle_exit is not None
-                    and time.monotonic() - idle_since >= args.idle_exit):
-                return 0
-            time.sleep(args.poll)
-            continue
-        try:
-            _run_job(broker, leased, state)
-        except Exception as exc:  # noqa: BLE001 - recorded, then fatal
-            _record_worker_error(broker, leased, exc)
-            raise
-        state.jobs_done += 1
+    # Graceful SIGTERM: finish the in-flight point, release the lease,
+    # exit 0.  Signal handlers only install on the main thread (tests
+    # drive main() from helper threads; subprocess workers are always
+    # main-thread).
+    previous_handler = None
+    if threading.current_thread() is threading.main_thread():
+        def _graceful(_signum, _frame) -> None:
+            state.stop = True
+        previous_handler = signal.signal(signal.SIGTERM, _graceful)
+    try:
         idle_since = time.monotonic()
-        if args.max_jobs is not None and state.jobs_done >= args.max_jobs:
-            return 0
+        while True:
+            if state.stop:
+                return 0
+            leased = broker.lease()
+            if leased is None:
+                if (args.idle_exit is not None
+                        and time.monotonic() - idle_since
+                        >= args.idle_exit):
+                    return 0
+                time.sleep(args.poll)
+                continue
+            try:
+                _run_job(broker, leased, state)
+            except Exception as exc:  # noqa: BLE001 - recorded, then fatal
+                _record_worker_error(broker, leased, exc)
+                raise
+            if state.stop:
+                return 0
+            state.jobs_done += 1
+            idle_since = time.monotonic()
+            if args.max_jobs is not None \
+                    and state.jobs_done >= args.max_jobs:
+                return 0
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
 
 
 if __name__ == "__main__":

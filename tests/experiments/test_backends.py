@@ -412,10 +412,13 @@ class TestQueueBackendEndToEnd:
             run_plan(small_plan(), jobs=2, use_cache=False,
                      backend=backend)
 
-    def test_crash_looping_workers_fail_loudly(self):
+    def test_crash_looping_workers_fail_loudly(self, monkeypatch):
         """Workers that die before ever producing a result (here: an
         unknown CLI flag) must raise a diagnostic QueueError instead of
-        respawning forever."""
+        respawning forever.  Degradation is disabled so the typed error
+        surfaces instead of the grid falling back to the local pool (the
+        fallback path has its own test in test_faults.py)."""
+        monkeypatch.setenv("REPRO_DEGRADE", "0")
         backend = queue_backend(workers=1, timeout=120.0,
                                 worker_args=("--definitely-not-a-flag",))
         with pytest.raises(QueueError, match="crash-looping"):
