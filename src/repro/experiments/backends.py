@@ -154,7 +154,9 @@ def _maybe_prelower(point: ExperimentPoint, trace) -> bool:
     """Pay a batch's one-time trace-lowering cost up front, observably.
 
     Returns True only when the compiled kernel applies to this point
-    (redirect ``baseline`` replaying a trace, ``REPRO_KERNEL`` on) *and*
+    (a ``redirect`` point replaying a trace, ``REPRO_KERNEL`` on — the
+    kernel now covers the ARVI configurations too, so every redirect
+    configuration shares the lowered form) *and*
     the lowering pass actually ran now; the caller then reports it as a
     :data:`~repro.pipeline.kernel.LOWER_TICK` progress tick, which the
     scheduler turns into a ``phase="lower"`` event — so the first point
@@ -166,7 +168,7 @@ def _maybe_prelower(point: ExperimentPoint, trace) -> bool:
     from repro.workloads.registry import get_program
 
     if (trace is None or point.speculation != "redirect"
-            or point.configuration != "baseline" or not kernel_mode()):
+            or not kernel_mode()):
         return False
     try:
         program = get_program(point.benchmark, scale=point.scale,

@@ -30,9 +30,15 @@ from repro.experiments.plan import (
     build_plan,
     default_scale,
     default_warmup,
+    point_key,
 )
 from repro.experiments.scheduler import ProgressCallback, run_plan
-from repro.experiments.tracing import kernel_mode, load_or_record, trace_mode
+from repro.experiments.tracing import (
+    kernel_mode,
+    load_or_record,
+    spec_mode,
+    trace_mode,
+)
 from repro.obs.interval import IntervalSampler
 from repro.pipeline.config import machine_for_depth
 from repro.pipeline.engine import PipelineEngine, build_predictor
@@ -42,6 +48,7 @@ from repro.pipeline.kernel import (
     is_lowered,
     kernel_run,
 )
+from repro.pipeline.specialize import specialized_run
 from repro.pipeline.stats import SimulationResult
 from repro.pipeline.trace import CommittedTrace, TraceReplayCore
 from repro.predictors.twolevel import LevelTwoKind
@@ -88,11 +95,15 @@ def execute_point(point: ExperimentPoint, *,
     ``wrongpath`` points always run the live core.
 
     When a trace replays and the compiled kernel is on (``REPRO_KERNEL``,
-    :func:`~repro.experiments.tracing.kernel_mode`), configurations the
-    kernel can express (redirect ``baseline``) run as an array pass over
-    the lowered trace; anything it cannot express falls back to the
-    interpreted replay automatically.  ``info``, when given, reports
-    which path actually ran: ``info["kernel_source"]`` is ``"kernel"``,
+    :func:`~repro.experiments.tracing.kernel_mode`), every redirect
+    configuration runs over the lowered trace — ``baseline`` as the
+    stream pass, the ARVI configurations as the fused pass — and with
+    ``REPRO_KERNEL_SPEC`` on, stream-kind points first try the
+    trace-specialized generated module.  Anything a tier cannot express
+    falls through to the next (specialized -> kernel -> interpreted),
+    counted in ``kernel_fallback_total`` and attributed to the point in
+    the run ledger.  ``info``, when given, reports which path actually
+    ran: ``info["kernel_source"]`` is ``"specialized"``, ``"kernel"``,
     ``"interpreted"`` or ``"live"`` (mirroring the backends'
     ``trace_source``).
     """
@@ -142,28 +153,13 @@ def _execute_phases(point: ExperimentPoint,
         if trace is None and trace_mode() == "disk":
             trace = load_or_record(point.benchmark, point.scale, point.seed)
         if trace is not None:
-            if point.configuration == "baseline" and kernel_mode():
-                try:
-                    if not is_lowered(trace, program):
-                        start = perf()
-                        with obs.span("lower", kind="phase",
-                                      attrs={"phase": "lower"}):
-                            ensure_lowered(program, trace)
-                        phase_seconds["lower"] = perf() - start
-                    start = perf()
-                    with obs.span("replay", kind="phase", attrs={
-                            "phase": "replay", "mode": "kernel"}):
-                        result = kernel_run(
-                            program, trace, config, LevelTwoKind.HYBRID,
-                            warmup_instructions=point.warmup)
-                    phase_seconds["replay"] = perf() - start
-                except KernelUnsupported as exc:
-                    # Fall back to the interpreted replay below.
-                    obs.inc("kernel.fallback",
-                            reason=str(exc).split(";")[0][:80])
-                else:
+            if kernel_mode():
+                replayed = _compiled_replay(point, program, trace, config,
+                                            phase_seconds, perf)
+                if replayed is not None:
+                    result, source = replayed
                     if info is not None:
-                        info["kernel_source"] = "kernel"
+                        info["kernel_source"] = source
                     return result
             core = TraceReplayCore(program, trace)
     if info is not None:
@@ -198,6 +194,83 @@ def _execute_phases(point: ExperimentPoint,
                                   sample.chain_length)
     phase_seconds[phase] = perf() - start
     return result
+
+
+def _kernel_fallback(point: ExperimentPoint, exc: Exception,
+                     tier: str) -> None:
+    """Count and attribute one compiled-replay fallback.
+
+    ``kernel_fallback_total{reason=...}`` aggregates across a run; the
+    ``kernel_fallback`` ledger event carries the point key (prefix) and
+    grid coordinates so an interpreted point in a grid is attributable
+    from the run ledger alone.
+    """
+    obs.inc("kernel_fallback_total",
+            reason=str(exc).split(";")[0][:80])
+    obs.emit("kernel_fallback", kind="phase", attrs={
+        "point": point_key(point)[:12],
+        "benchmark": point.benchmark,
+        "configuration": point.configuration,
+        "depth": point.pipeline_depth,
+        "tier": tier,
+        "reason": str(exc)[:200]})
+
+
+def _compiled_replay(point: ExperimentPoint, program, trace, config,
+                     phase_seconds: dict[str, float],
+                     perf) -> "tuple[SimulationResult, str] | None":
+    """Try the compiled replay tiers for one redirect point.
+
+    ``baseline`` maps to the stream kernel (``LevelTwoKind.HYBRID``);
+    the paper's ARVI configurations map to the fused ARVI pass.  With
+    ``REPRO_KERNEL_SPEC`` on, stream-kind points first try the
+    trace-specialized generated module (its one-time codegen is timed
+    as its own ``codegen`` phase).  Returns ``(result, source)`` with
+    ``source`` in {"specialized", "kernel"}, or None when every tier
+    declined — each fallback is counted and attributed via
+    :func:`_kernel_fallback`, and the caller proceeds to the
+    interpreted replay.
+    """
+    if point.configuration == "baseline":
+        kind, value_mode = LevelTwoKind.HYBRID, ValueMode.CURRENT
+    else:
+        kind = LevelTwoKind.ARVI
+        value_mode = _VALUE_MODES[point.configuration]
+    try:
+        if not is_lowered(trace, program):
+            start = perf()
+            with obs.span("lower", kind="phase",
+                          attrs={"phase": "lower"}):
+                ensure_lowered(program, trace)
+            phase_seconds["lower"] = perf() - start
+        if kind is LevelTwoKind.HYBRID and spec_mode():
+            try:
+                start = perf()
+                with obs.span("replay", kind="phase", attrs={
+                        "phase": "replay", "mode": "specialized"}):
+                    result = specialized_run(
+                        program, trace, config, kind,
+                        warmup_instructions=point.warmup,
+                        phase_seconds=phase_seconds)
+                phase_seconds["replay"] = (
+                    perf() - start - phase_seconds.get("codegen", 0.0))
+            except KernelUnsupported as exc:
+                _kernel_fallback(point, exc, "specialized")
+            else:
+                return result, "specialized"
+        start = perf()
+        with obs.span("replay", kind="phase", attrs={
+                "phase": "replay", "mode": "kernel"}):
+            result = kernel_run(
+                program, trace, config, kind,
+                warmup_instructions=point.warmup,
+                value_mode=value_mode,
+                arvi_config=point.arvi_config)
+        phase_seconds["replay"] = perf() - start
+    except KernelUnsupported as exc:
+        _kernel_fallback(point, exc, "kernel")
+        return None
+    return result, "kernel"
 
 
 def run_point(point: ExperimentPoint, *, scale: float | None = None,

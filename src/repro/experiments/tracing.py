@@ -20,6 +20,10 @@ experiment service uses them and where recorded traces persist:
   committed trace go through the compiled array kernel
   (:mod:`repro.pipeline.kernel`, default) or the interpreted engine
   loop — results are bit-for-bit identical either way.
+* :func:`spec_mode` — the ``REPRO_KERNEL_SPEC`` knob (default off):
+  whether stream-kind replays additionally try the trace-specialized
+  generated module (:mod:`repro.pipeline.specialize`) before the
+  kernel — again bit-for-bit identical, just faster once generated.
 * :class:`SharedTraces` — the per-batch/per-sweep pool.  Recording costs
   one functional run, so a trace is only recorded when it will amortize:
   at least two redirect points of the same workload identity
@@ -74,6 +78,24 @@ def kernel_mode() -> bool:
     """
     raw = os.environ.get("REPRO_KERNEL", "1").strip().lower()
     return raw not in ("0", "false", "no", "off")
+
+
+def spec_mode() -> bool:
+    """``REPRO_KERNEL_SPEC`` -> whether trace-specialized replay is on.
+
+    Default off.  When on (and the kernel is on), redirect points whose
+    configuration the stream kernel expresses try the trace-specialized
+    replay first: :mod:`repro.pipeline.specialize` generates a flattened
+    per-workload replay module (constants baked, hot segments unrolled),
+    caches the source content-addressed under ``REPRO_KERNEL_SPEC_DIR``
+    (default ``benchmarks/results/specialized/``) and executes it —
+    bit-for-bit equal to ``kernel_run`` (enforced by the equality suite
+    and ``repro.bench``), ~1.4x faster once generated.  Anything the
+    specializer cannot express falls through to the kernel, then the
+    interpreted replay, exactly like ``REPRO_KERNEL`` fallbacks.
+    """
+    raw = os.environ.get("REPRO_KERNEL_SPEC", "0").strip().lower()
+    return raw not in ("", "0", "false", "no", "off")
 
 
 def default_trace_dir() -> pathlib.Path:

@@ -119,11 +119,11 @@ class DecodedProgram:
         return self.insts[pc]
 
     def static_columns(self) -> tuple[list[int], list[int], list[int],
-                                      list[int], list[int]]:
+                                      list[int], list[int], list[int]]:
         """Per-PC columns for the trace-lowering pass (pipeline.kernel).
 
-        Returns ``(kernel_class, src1, src2, writer, ras)``, one entry
-        per static PC, with ``-1`` for absent registers:
+        Returns ``(kernel_class, src1, src2, writer, ras, has_result)``,
+        one entry per static PC, with ``-1`` for absent registers:
 
         * ``kernel_class`` — the FU latency class, except conditional
           branches (FU_ALU plus resolution) get their own class
@@ -133,13 +133,17 @@ class DecodedProgram:
           (``needs_dest`` already excludes stores and r0 writes);
         * ``ras`` — return-address-stack event: ``RAS_PUSH`` (JAL),
           ``RAS_POP`` (JR), or 0 (JALR deliberately neither — it links
-          through the ALU and is predicted like any indirect jump).
+          through the ALU and is predicted like any indirect jump);
+        * ``has_result`` — 1 when the opcode produces ``DynInst.result``
+          (the trace's sparse ``results`` column has an entry), else 0 —
+          the cursor the ARVI lowering uses to densify committed values.
         """
         kernel_class: list[int] = []
         src1: list[int] = []
         src2: list[int] = []
         writer: list[int] = []
         ras: list[int] = []
+        has_result: list[int] = []
         for d in self.insts:
             kernel_class.append(
                 KCLASS_BRANCH if d.is_cond_branch else d.fu_class)
@@ -149,7 +153,8 @@ class DecodedProgram:
             writer.append(d.rd if d.needs_dest else -1)
             ras.append(RAS_PUSH if d.op == _OP_JAL
                        else RAS_POP if d.op == _OP_JR else 0)
-        return kernel_class, src1, src2, writer, ras
+            has_result.append(1 if d.has_result else 0)
+        return kernel_class, src1, src2, writer, ras, has_result
 
 
 #: Kernel class for conditional branches in :meth:`DecodedProgram.

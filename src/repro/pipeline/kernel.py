@@ -27,23 +27,29 @@ by every redirect timing point of a batch:
 :func:`kernel_run` then evaluates one timing configuration as a lean
 array pass over the lowered form: the same fetch/issue/commit arithmetic
 as :meth:`~repro.pipeline.engine.PipelineEngine.run`, stage for stage,
-minus everything that cannot affect a redirect-mode hybrid/none result
-(rename bookkeeping, DDT/RSE/shadow maintenance, per-branch predictor
-dispatch, DynInst materialization).  Results are **bit-for-bit equal**
-to the interpreted replay and to live execution — enforced by the
-equality suite (``tests/pipeline/test_kernel.py``) and by the hard
-gates in ``python -m repro.bench``.
+minus everything that cannot affect a redirect-mode result.  For the
+hybrid/none kinds that strips *all* rename/DDT/RSE/shadow maintenance
+(their decisions precompute into shared streams); for the ARVI kinds a
+fused pass (DESIGN.md §13) keeps exactly the state the BVIT lookup keys
+read — the DDT retirement window, pending/shadow register values and
+load-hoist times, which are timing-*dependent* per configuration — and
+reuses precomputed level-1/confidence streams.  Results are
+**bit-for-bit equal** to the interpreted replay and to live execution —
+enforced by the equality suites (``tests/pipeline/test_kernel.py``,
+``tests/pipeline/test_kernel_arvi.py``) and by the hard gates in
+``python -m repro.bench``.
 
 Fallback rules (DESIGN.md §10): anything the lowered form cannot
 express raises :class:`KernelUnsupported` and the caller falls back to
-the interpreted path — ARVI level 2 (its decisions read live DDT/timing
-state), ``wrongpath`` speculation (needs live architectural state), and
-non-standard predictor stacks.  A budget that would step past a
-truncated recording raises :class:`~repro.pipeline.trace.TraceError`,
-matching the interpreted replay core.  The selection knob is
-``REPRO_KERNEL`` (:func:`repro.experiments.tracing.kernel_mode`); which
-path actually ran is observable via the ``kernel_source`` field threaded
-through :func:`~repro.experiments.runner.execute_point`.
+the interpreted path — ``wrongpath`` speculation (needs live
+architectural state) and non-standard predictor stacks.  A budget that
+would step past a truncated recording raises
+:class:`~repro.pipeline.trace.TraceError`, matching the interpreted
+replay core.  The selection knob is ``REPRO_KERNEL``
+(:func:`repro.experiments.tracing.kernel_mode`); which path actually
+ran is observable via the ``kernel_source`` field threaded through
+:func:`~repro.experiments.runner.execute_point`, and every fallback
+increments the ``kernel_fallback_total`` counter with its reason.
 
 numpy is optional: the lowering pass vectorizes with numpy when it is
 importable (``REPRO_KERNEL_NUMPY=0`` forces the fallback), and otherwise
@@ -57,8 +63,14 @@ from __future__ import annotations
 
 import os
 from bisect import bisect_left
+from collections import deque
 from heapq import heappop, heappush
 
+from repro.core.arvi import ARVIConfig, ValueMode
+from repro.core.bvit import BVIT
+from repro.core.ddt import FastDDT
+from repro.core.shadow import ShadowMapTable, ShadowRegisterFile
+from repro.isa import regs
 from repro.isa.decoded import (
     FU_ALU as K_ALU,
     FU_DIV as K_DIV,
@@ -69,12 +81,14 @@ from repro.isa.decoded import (
     KCLASS_BRANCH as K_BRANCH,
     RAS_PUSH,
 )
-from repro.isa.program import Program
+from repro.isa.program import DATA_BASE, STACK_TOP, Program
 from repro.pipeline.caches import MemoryHierarchy
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.functional import DEFAULT_MAX_INSTRUCTIONS
-from repro.pipeline.stats import SimulationResult
+from repro.pipeline.rename import RenameMap
+from repro.pipeline.stats import BranchClassStats, SimulationResult
 from repro.pipeline.trace import CommittedTrace, TraceError
+from repro.predictors.confidence import ConfidenceEstimator
 from repro.predictors.gskew import level1_gskew, level2_gskew
 from repro.predictors.twolevel import LevelTwoKind
 
@@ -102,7 +116,16 @@ _LINE_CHANGE = 8
 
 _REDIRECT_LATENCY = 1  # keep in sync with pipeline.engine
 
-_SUPPORTED_KINDS = (LevelTwoKind.HYBRID, LevelTwoKind.NONE)
+_SUPPORTED_KINDS = (LevelTwoKind.HYBRID, LevelTwoKind.NONE,
+                    LevelTwoKind.ARVI)
+
+#: Level-2 kinds whose branch decisions are fully timing-independent and
+#: therefore precompute into shared :class:`_BranchStreams` — the form
+#: the flattened stream loop (and the trace specializer) replays.  ARVI
+#: is supported by :func:`kernel_run` but runs its own fused pass: only
+#: its level-1/confidence streams are timing-independent; the BVIT/RSE
+#: side reads live DDT and register-timing state per configuration.
+_STREAM_KINDS = (LevelTwoKind.HYBRID, LevelTwoKind.NONE)
 
 
 class KernelUnsupported(RuntimeError):
@@ -184,17 +207,53 @@ class _BranchStreams:
         self.cum_harmful = chm
 
 
+class _ARVIPreStreams:
+    """Timing-independent per-branch ARVI inputs, shared across configs.
+
+    For the ARVI configurations only the level-1 gskew prediction and
+    the confidence verdict are timing-independent: both consume nothing
+    but the committed (pc, taken) branch sequence, and each branch's
+    predict immediately precedes its own train in program order (no
+    other instruction touches either structure).  The BVIT/RSE side is
+    *not* precomputable — its lookup keys read the live DDT retirement
+    window, shadow values and load-hoist timing, which differ per
+    machine configuration — so :func:`kernel_run` replays it live in
+    the fused ARVI pass while reusing these streams.
+    """
+
+    __slots__ = ("l1_pred", "confident")
+
+    def __init__(self, bpcs: list[int], btaken: list[bool]) -> None:
+        level1 = level1_gskew()
+        confidence = ConfidenceEstimator()
+        l1_predict = level1.predict
+        l1_update = level1.update
+        is_confident = confidence.is_confident
+        conf_update = confidence.update
+        l1_pred: list[bool] = []
+        confident: list[bool] = []
+        for pc, taken in zip(bpcs, btaken):
+            l1 = l1_predict(pc)
+            l1_pred.append(l1)
+            confident.append(is_confident(pc))
+            l1_update(pc, taken)
+            conf_update(pc, l1 == taken, taken)
+        self.l1_pred = l1_pred
+        self.confident = confident
+
+
 class LoweredTrace:
     """Dense array form of one committed trace, shared across configs."""
 
     __slots__ = (
         "program", "trace", "length", "backend",
-        "kclass", "byte_pcs", "dep1", "dep2",
+        "pcs", "kclass", "byte_pcs", "dep1", "dep2",
         "mem_pos", "mem_addr", "store_dep",
         "load_prefix", "store_prefix",
         "branch_pos", "branch_pcs", "branch_taken",
-        "jr_pos", "jr_correct_cum",
+        "jr_pos", "jr_correct_cum", "_hasres",
         "_np", "_kclass_np", "_byte_np", "_codes", "_streams",
+        "_values", "_arvi_pre", "_specialized",
     )
 
     # -- derived caches ------------------------------------------------------
@@ -229,21 +288,78 @@ class LoweredTrace:
         """Branch decision streams for one level-2 kind (cached)."""
         streams = self._streams.get(kind)
         if streams is None:
-            if kind not in _SUPPORTED_KINDS:
+            if kind not in _STREAM_KINDS:
                 raise KernelUnsupported(
-                    f"the replay kernel cannot express level-2 kind "
-                    f"{kind.value!r}: its decisions read live DDT/timing "
-                    "state; use the interpreted path")
+                    f"replay of {self.program.name!r}: level-2 kind "
+                    f"{kind.value!r} has no precomputable decision stream "
+                    "(its decisions read live DDT/timing state)")
             streams = _BranchStreams(self.branch_pcs, self.branch_taken,
                                      kind)
             self._streams[kind] = streams
         return streams
 
+    def values(self) -> list[int]:
+        """Dense committed result values, one entry per instruction.
+
+        ``values()[i]`` is the committed result of instruction *i* (the
+        engine's ``dyn.result``) or 0 when the opcode produces none —
+        the densification of the trace's sparse ``results`` column via
+        the static ``has_result`` table.  Built lazily (only the ARVI
+        pass reads values) and cached for every config of a batch.
+        """
+        vals = self._values
+        if vals is not None:
+            return vals
+        results = self.trace.results
+        hasres_tab = self._hasres
+        n = self.length
+        np = self._np
+        if np is not None:
+            if n:
+                hasres = np.array(hasres_tab, dtype=bool)[self._byte_np >> 2]
+            else:
+                hasres = np.zeros(0, dtype=bool)
+            count = int(hasres.sum())
+            if count != len(results):
+                raise TraceError(
+                    f"trace of {self.trace.program_name!r} is internally "
+                    "inconsistent (column lengths do not match the stream)")
+            vals_np = np.zeros(n, dtype=np.int64)
+            vals_np[hasres] = np.asarray(results)
+            vals = vals_np.tolist()
+        else:
+            vals = [0] * n
+            ri = 0
+            try:
+                for i, pc in enumerate(self.pcs):
+                    if hasres_tab[pc]:
+                        vals[i] = results[ri]
+                        ri += 1
+            except IndexError as exc:
+                raise TraceError(
+                    f"trace of {self.trace.program_name!r} is internally "
+                    "inconsistent (column lengths do not match the stream)"
+                ) from exc
+            if ri != len(results):
+                raise TraceError(
+                    f"trace of {self.trace.program_name!r} is internally "
+                    "inconsistent (column lengths do not match the stream)")
+        self._values = vals
+        return vals
+
+    def arvi_prestreams(self) -> _ARVIPreStreams:
+        """Shared level-1/confidence streams for the ARVI pass (cached)."""
+        pre = self._arvi_pre
+        if pre is None:
+            pre = _ARVIPreStreams(self.branch_pcs, self.branch_taken)
+            self._arvi_pre = pre
+        return pre
+
 
 def _lower(program: Program, trace: CommittedTrace) -> LoweredTrace:
     trace.validate_for(program)
     np = _numpy()
-    cls_tab, src1_tab, src2_tab, wr_tab, ras_tab = \
+    cls_tab, src1_tab, src2_tab, wr_tab, ras_tab, hasres_tab = \
         program.decoded().static_columns()
     n = trace.length
     branches = trace.branch_count
@@ -253,8 +369,13 @@ def _lower(program: Program, trace: CommittedTrace) -> LoweredTrace:
     lowered.program = program
     lowered.trace = trace
     lowered.length = n
+    lowered.pcs = pcs_list
+    lowered._hasres = hasres_tab
     lowered._codes = {}
     lowered._streams = {}
+    lowered._values = None
+    lowered._arvi_pre = None
+    lowered._specialized = None
 
     if np is not None:
         lowered.backend = "numpy"
@@ -417,29 +538,37 @@ def kernel_run(program: Program, trace: CommittedTrace,
                kind: LevelTwoKind = LevelTwoKind.HYBRID, *,
                warmup_instructions: int = 0,
                max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+               value_mode: ValueMode = ValueMode.CURRENT,
+               arvi_config: ARVIConfig | None = None,
                ) -> SimulationResult:
     """Replay one timing configuration over the lowered trace.
 
     Produces a :class:`SimulationResult` bit-for-bit equal to
-    ``PipelineEngine(program, config, build_predictor(kind, config),
-    warmup_instructions=..., core=TraceReplayCore(program,
-    trace)).run(max_instructions)`` for every supported configuration;
-    raises :class:`KernelUnsupported` for anything else.  The memory
-    hierarchy runs live, in the engine's exact access order — the
-    shared L2 couples I-side and D-side state, and store-forwarding
-    outcomes depend on per-config timing, so cache latencies cannot be
-    precomputed.
+    ``PipelineEngine(program, config, build_predictor(kind, config,
+    arvi_config), value_mode=..., warmup_instructions=...,
+    core=TraceReplayCore(program, trace)).run(max_instructions)`` for
+    every supported configuration; raises :class:`KernelUnsupported`
+    for anything else.  The memory hierarchy runs live, in the engine's
+    exact access order — the shared L2 couples I-side and D-side state,
+    and store-forwarding outcomes depend on per-config timing, so cache
+    latencies cannot be precomputed.
+
+    ``LevelTwoKind.ARVI`` (``value_mode`` / ``arvi_config`` select the
+    paper's evaluation configurations) runs the fused ARVI pass: the
+    shared level-1/confidence streams are precomputed once per trace,
+    while the DDT/RSE/BVIT machinery replays live per configuration —
+    its lookup keys depend on per-config retirement timing.
     """
     if config.speculation != "redirect":
         raise KernelUnsupported(
-            "the replay kernel models redirect speculation only; "
-            "wrongpath synthesis reads live architectural state")
+            f"replay of {trace.program_name!r}: the replay kernel models "
+            "redirect speculation only; wrongpath synthesis reads live "
+            "architectural state")
     if kind not in _SUPPORTED_KINDS:
         raise KernelUnsupported(
-            f"the replay kernel cannot express level-2 kind "
-            f"{kind.value!r}: its decisions read live DDT/timing state")
+            f"replay of {trace.program_name!r}: the replay kernel cannot "
+            f"express level-2 kind {kind.value!r}")
     lowered = ensure_lowered(program, trace)
-    streams = lowered.streams_for(kind)
     n = lowered.length
     if max_instructions > n and not trace.halted:
         # Mirror TraceReplayCore.step: a budget past a truncated
@@ -453,6 +582,11 @@ def kernel_run(program: Program, trace: CommittedTrace,
     if n_run < 0:
         n_run = 0
 
+    if kind is LevelTwoKind.ARVI:
+        return _arvi_replay(program, lowered, config, value_mode,
+                            arvi_config, warmup_instructions, n_run)
+
+    streams = lowered.streams_for(kind)
     memory = MemoryHierarchy(config)
 
     # ---- hot locals (mirrors the engine's fused loop) ---------------------
@@ -613,10 +747,25 @@ def kernel_run(program: Program, trace: CommittedTrace,
                     fetch_barrier = barrier
             branch_i += 1
 
-    # ---- statistics (measured window via prefix sums) ---------------------
-    warmup = warmup_instructions
+    return stream_result(lowered, kind, config, warmup_instructions,
+                         n_run, last_commit, commit_arr, memory)
+
+
+def stream_result(lowered: LoweredTrace, kind: LevelTwoKind,
+                  config: MachineConfig, warmup: int, n_run: int,
+                  last_commit: int, commit_arr: list[int],
+                  memory: MemoryHierarchy) -> SimulationResult:
+    """Statistics epilogue shared by the stream loop and the specializer.
+
+    Everything after the timing loop is a pure function of the lowered
+    trace, the branch streams and ``(last_commit, commit_arr)`` — the
+    specialized replay (``pipeline.specialize``) produces exactly those
+    two values, so routing both paths through this one epilogue makes
+    their results equal by construction.
+    """
+    streams = lowered.streams_for(kind)
     result = SimulationResult(
-        benchmark=program.name,
+        benchmark=lowered.program.name,
         configuration=f"2-level {kind.value}",
         pipeline_depth=config.pipeline_depth,
         warmup_instructions=warmup,
@@ -643,6 +792,435 @@ def kernel_run(program: Program, trace: CommittedTrace,
                                 - streams.cum_helpful[branch_lo])
     result.overrides_harmful = (streams.cum_harmful[branch_hi]
                                 - streams.cum_harmful[branch_lo])
+
+    result.total_instructions = n_run
+    result.total_cycles = last_commit
+    measured_start_cycle = commit_arr[warmup] if warmup < n_run else 0
+    result.instructions = max(n_run - warmup, 0)
+    result.cycles = max(last_commit - measured_start_cycle, 0)
+    result.memory = memory.stats()
+
+    pops = bisect_left(lowered.jr_pos, n_run)
+    correct_pops = lowered.jr_correct_cum[pops]
+    result.ras_accuracy = correct_pops / pops if pops else 1.0
+    return result
+
+
+def _arvi_replay(program: Program, lowered: LoweredTrace,
+                 config: MachineConfig, value_mode: ValueMode,
+                 arvi_config: ARVIConfig | None, warmup: int,
+                 n_run: int) -> SimulationResult:
+    """The fused ARVI pass: engine semantics, flat-loop mechanics.
+
+    Mirrors :meth:`PipelineEngine.run` stage for stage for the ARVI
+    configurations.  The timing arithmetic (fetch / issue / commit /
+    redirect) is the stream kernel's; on top of it the pass maintains
+    the real rename / DDT / chain-info / shadow structures and drains a
+    retire queue at each instruction's rename cycle, because the ARVI
+    lookup keys read exactly that state: which chain instructions are
+    still in flight, which leaf registers are pending, their shadow (or
+    exposed) values, and the chain-depth span.  The level-1 prediction
+    and the confidence verdict are timing-independent and come from the
+    shared :class:`_ARVIPreStreams`; the BVIT runs live (fresh table
+    per config, as the engine builds a fresh predictor).
+
+    Deliberate deviation from ISSUE 9's premise: the *full* ARVI
+    decision stream is **not** timing-independent per latency class —
+    availability and chain membership depend on per-config commit
+    timing — so it cannot be lowered into shared prefix sums the way
+    the gskew streams were.  Equality with the interpreted path is what
+    the tests and the bench gate assert instead.
+    """
+    _cls, src1_tab, src2_tab, wr_tab, _ras, _hr = \
+        program.decoded().static_columns()
+    pre = lowered.arvi_prestreams()
+    acfg = arvi_config or ARVIConfig()
+    memory = MemoryHierarchy(config)
+    n_pregs = config.num_phys_regs
+
+    # Real structures, aliased like the engine's fused loop.
+    rename = RenameMap(n_pregs)
+    rename_map = rename._map
+    rename_free = rename._free
+    rename_owner = rename._owner
+    free_popleft = rename_free.popleft
+    free_append = rename_free.append
+    ddt = FastDDT(n_pregs, config.rob_entries)
+    ddt_allocate = ddt.allocate
+    ddt_commit = ddt.commit_oldest
+    chains_info: dict[int, tuple[int | None, tuple[int, ...], bool]] = {}
+    chains_pop = chains_info.pop
+    bvit = BVIT(acfg.sets, acfg.ways)
+    bvit_lookup = bvit.lookup
+    bvit_update = bvit.update
+    shadow_values = ShadowRegisterFile(n_pregs)
+    shadow_map = ShadowMapTable(n_pregs)
+    shadow_vals = shadow_values._values
+    shadow_ids = shadow_map._ids
+    value_mask = shadow_values._mask
+    shadow_id_mask = shadow_map._mask
+
+    registers = [0] * 32
+    registers[regs.sp] = STACK_TOP
+    registers[regs.gp] = DATA_BASE
+    preg_value = [0] * n_pregs
+    for logical in range(rename.num_logical):
+        preg = rename_map[logical]
+        shadow_ids[preg] = logical & shadow_id_mask
+        shadow_vals[preg] = registers[logical] & value_mask
+        preg_value[preg] = registers[logical]
+    preg_pending = [False] * n_pregs
+    preg_is_load = [False] * n_pregs
+    preg_hoist = [0] * n_pregs
+    retire: deque[tuple] = deque()
+    retire_append = retire.append
+    retire_popleft = retire.popleft
+
+    # ---- hot locals (the stream kernel's, plus the ARVI state) ------------
+    pcs = lowered.pcs
+    codes = lowered.codes_for(~(config.icache.line_bytes - 1))
+    byte_pcs = lowered.byte_pcs
+    dep1 = lowered.dep1
+    dep2 = lowered.dep2
+    mem_pos = lowered.mem_pos
+    mem_addr = lowered.mem_addr
+    store_dep = lowered.store_dep
+    values = lowered.values()
+    branch_taken = lowered.branch_taken
+    l1_stream = pre.l1_pred
+    conf_stream = pre.confident
+    mem_ilat = memory.instruction_latency
+    mem_dlat = memory.data_latency
+    icache_hit_latency = config.icache.hit_latency
+    frontend_depth = config.frontend_depth
+    rename_offset = config.rename_offset
+    fetch_width = config.fetch_width
+    commit_width = config.commit_width
+    rob_capacity = config.rob_entries
+    lsq_capacity = config.lsq_entries
+    alu_latency = config.alu_latency
+    mult_latency = config.mult_latency
+    div_latency = config.div_latency
+    override_redirect = config.predictor_latencies.level2_arvi + 1
+    muldiv_scalar = config.int_muldiv == 1
+    index_mask = (1 << acfg.index_bits) - 1
+    id_tag_mask = (1 << acfg.id_tag_bits) - 1
+    depth_limit = (1 << acfg.depth_bits) - 1
+    use_id_tag = acfg.use_id_tag
+    use_depth_tag = acfg.use_depth_tag
+    allocate_soft = not acfg.allocate_only_hard
+    is_perfect = value_mode is ValueMode.PERFECT
+    is_load_back = value_mode is ValueMode.LOAD_BACK
+
+    complete_arr = [0] * n_run
+    commit_arr = [0] * n_run
+    alu_free = [0] * config.int_alus
+    dcache_free = [0] * config.dcache_ports
+    muldiv_free = 0
+    muldiv_heap = [0] * config.int_muldiv
+    fetch_barrier = 0
+    fetch_cycle = fetch_used = 0
+    commit_cycle = commit_used = 0
+    last_commit = 0
+    mem_i = 0
+    branch_i = 0
+
+    cond_branches = final_correct_n = l1_correct_n = 0
+    overrides_n = helpful_n = harmful_n = l2_used_n = 0
+    calc_b = calc_c = load_b = load_c = 0
+
+    for i in range(n_run):
+        code = codes[i]
+        k = code & 7
+
+        # ---- fetch (barrier -> ROB -> LSQ -> I-cache -> bandwidth) --------
+        earliest = fetch_barrier
+        if i >= rob_capacity:
+            free_at = commit_arr[i - rob_capacity] + 1
+            if free_at > earliest:
+                earliest = free_at
+        if k == K_LOAD or k == K_STORE:
+            if mem_i >= lsq_capacity:
+                free_at = commit_arr[mem_pos[mem_i - lsq_capacity]] + 1
+                if free_at > earliest:
+                    earliest = free_at
+        if code & _LINE_CHANGE:
+            extra = mem_ilat(byte_pcs[i]) - icache_hit_latency
+            if extra > 0:
+                earliest += extra
+        if earliest > fetch_cycle:
+            fetch_cycle = earliest
+            fetch_used = 0
+        if fetch_used >= fetch_width:
+            fetch_cycle += 1
+            fetch_used = 0
+        fetch_used += 1
+        fetch = fetch_cycle
+
+        # ---- rename (early, one cycle after fetch) ------------------------
+        rename_cycle = fetch + rename_offset
+        if retire and retire[0][3] <= rename_cycle:
+            while retire and retire[0][3] <= rename_cycle:
+                token, dest, value, _c, displaced = retire_popleft()
+                ddt_commit()
+                chains_pop(token, None)
+                if dest is not None:
+                    shadow_vals[dest] = value & value_mask
+                    preg_pending[dest] = False
+                if displaced is not None:
+                    free_append(displaced)
+
+        pc = pcs[i]
+        s1 = src1_tab[pc]
+        if s1 >= 0:
+            s2 = src2_tab[pc]
+            if s2 >= 0:
+                src_pregs = (rename_map[s1], rename_map[s2])
+            else:
+                src_pregs = (rename_map[s1],)
+        else:
+            src_pregs = ()
+
+        # ---- ARVI decision (reads the DDT *before* the branch inserts) ----
+        is_branch = k == K_BRANCH
+        if is_branch:
+            taken = branch_taken[branch_i]
+            l1_pred = l1_stream[branch_i]
+            confident = conf_stream[branch_i]
+            ddt_rows = ddt.rows  # rebound by renormalization; no hoisting
+            cmask = 0
+            for preg in src_pregs:
+                cmask |= ddt_rows[preg]
+            cmask &= ddt.valid
+            base = ddt._base
+            if cmask:
+                oldest = base + (cmask & -cmask).bit_length() - 1
+            else:
+                oldest = None
+            # RSE extraction (ChainInfoTable.extract, inlined over the
+            # chain bitmask: loads terminate chains and mark nothing).
+            rse_sources = set(src_pregs)
+            rse_targets = None
+            m = cmask
+            while m:
+                low = m & -m
+                m ^= low
+                dest, srcs, is_ld = chains_info[
+                    base + low.bit_length() - 1]
+                if not is_ld:
+                    rse_sources.update(srcs)
+                    if dest is not None:
+                        if rse_targets is None:
+                            rse_targets = {dest}
+                        else:
+                            rse_targets.add(dest)
+            regset = (rse_sources if rse_targets is None
+                      else rse_sources - rse_targets)
+            # Key formation (ARVIPredictor.keys, inlined: XOR fold, id
+            # sum and any() are commutative, so no sorted() pass).
+            index = pc & index_mask
+            id_sum = 0
+            is_load_branch = False
+            for preg in regset:
+                if not preg_pending[preg]:
+                    index ^= shadow_vals[preg] & index_mask
+                elif is_perfect or (is_load_back and preg_is_load[preg]
+                                    and preg_hoist[preg] <= fetch):
+                    index ^= preg_value[preg] & value_mask & index_mask
+                else:
+                    is_load_branch = True
+                id_sum += shadow_ids[preg] & id_tag_mask
+            id_tag = id_sum & id_tag_mask if use_id_tag else 0
+            if use_depth_tag and oldest is not None:
+                span = ddt._next_token - oldest
+                depth_tag = span if span < depth_limit else depth_limit
+            else:
+                depth_tag = 0
+            arvi_taken = bvit_lookup(index, id_tag, depth_tag)
+            use_arvi = arvi_taken is not None and not confident
+            final = arvi_taken if use_arvi else l1_pred
+
+        # ---- destination rename + DDT insert ------------------------------
+        rd = wr_tab[pc]
+        if rd >= 0:
+            if not rename_free:
+                rename.rename_dest(rd)  # raises RenameError (engine parity)
+            dest_preg = free_popleft()
+            displaced = rename_map[rd]
+            rename_map[rd] = dest_preg
+            rename_owner[dest_preg] = rd
+            shadow_ids[dest_preg] = rd & shadow_id_mask
+        else:
+            dest_preg = None
+            displaced = None
+        token = ddt_allocate(dest_preg, src_pregs)
+        chains_info[token] = (dest_preg, src_pregs, k == K_LOAD)
+
+        # ---- issue / execute ---------------------------------------------
+        operands = 0
+        dep = dep1[i]
+        if dep >= 0:
+            operands = complete_arr[dep]
+        dep = dep2[i]
+        if dep >= 0:
+            when = complete_arr[dep]
+            if when > operands:
+                operands = when
+        ready = fetch + frontend_depth
+        if operands > ready:
+            ready = operands
+        hoist_val = 0
+        if k == K_ALU or k == K_BRANCH:
+            server_free = heappop(alu_free)
+            issue = ready if ready >= server_free else server_free
+            heappush(alu_free, issue + 1)
+            complete = issue + alu_latency
+        elif k == K_LOAD:
+            server_free = heappop(alu_free)
+            issue = ready if ready >= server_free else server_free
+            heappush(alu_free, issue + 1)
+            agen1 = issue + 1
+            server_free = heappop(dcache_free)
+            access = agen1 if agen1 >= server_free else server_free
+            heappush(dcache_free, access + 1)
+            source = store_dep[mem_i]
+            if source >= 0 and commit_arr[source] > access:
+                data_ready = complete_arr[source]
+                complete = (access if access >= data_ready
+                            else data_ready) + 1
+            else:
+                complete = access + mem_dlat(mem_addr[mem_i])
+            # Hoisted availability (engine _hoist_available): operand
+            # readiness, gated by the forwarding store's data, plus the
+            # load's actual latency.  Read only under "load back".
+            hoist_start = operands
+            if source >= 0:
+                data_ready = complete_arr[source]
+                if data_ready > hoist_start:
+                    hoist_start = data_ready
+            hoist_val = hoist_start + (complete - issue)
+            mem_i += 1
+        elif k == K_STORE:
+            server_free = heappop(alu_free)
+            issue = ready if ready >= server_free else server_free
+            heappush(alu_free, issue + 1)
+            complete = issue + 1
+            mem_i += 1
+        elif k == K_OTHER:
+            server_free = heappop(alu_free)
+            issue = ready if ready >= server_free else server_free
+            heappush(alu_free, issue + 1)
+            complete = issue + 1
+        elif k == K_MULT:
+            if muldiv_scalar:
+                issue = ready if ready >= muldiv_free else muldiv_free
+                muldiv_free = issue + 1
+            else:
+                server_free = heappop(muldiv_heap)
+                issue = ready if ready >= server_free else server_free
+                heappush(muldiv_heap, issue + 1)
+            complete = issue + mult_latency
+        else:  # K_DIV (unpipelined)
+            if muldiv_scalar:
+                issue = ready if ready >= muldiv_free else muldiv_free
+                muldiv_free = issue + div_latency
+            else:
+                server_free = heappop(muldiv_heap)
+                issue = ready if ready >= server_free else server_free
+                heappush(muldiv_heap, issue + div_latency)
+            complete = issue + div_latency
+
+        # ---- commit -------------------------------------------------------
+        commit_req = complete + 1
+        if commit_req < last_commit:
+            commit_req = last_commit
+        if commit_req > commit_cycle:
+            commit_cycle = commit_req
+            commit_used = 0
+        if commit_used >= commit_width:
+            commit_cycle += 1
+            commit_used = 0
+        commit_used += 1
+        last_commit = commit_cycle
+        commit_arr[i] = last_commit
+        complete_arr[i] = complete
+
+        # ---- writeback bookkeeping ----------------------------------------
+        if dest_preg is not None:
+            value = values[i]
+            preg_value[dest_preg] = value
+            preg_pending[dest_preg] = True
+            is_ld = k == K_LOAD
+            preg_is_load[dest_preg] = is_ld
+            if is_ld:
+                preg_hoist[dest_preg] = hoist_val
+        else:
+            value = 0
+        retire_append((token, dest_preg, value, last_commit, displaced))
+
+        # ---- control flow resolution + training ---------------------------
+        if is_branch:
+            final_correct = final == taken
+            override = use_arvi and final != l1_pred
+            if not final_correct:
+                barrier = complete + _REDIRECT_LATENCY
+                if barrier > fetch_barrier:
+                    fetch_barrier = barrier
+            elif override:
+                barrier = fetch + override_redirect
+                if barrier > fetch_barrier:
+                    fetch_barrier = barrier
+            bvit_update(index, id_tag, depth_tag, taken,
+                        allocate=not confident or allocate_soft)
+            if i >= warmup:
+                cond_branches += 1
+                l1_correct = l1_pred == taken
+                if final_correct:
+                    final_correct_n += 1
+                if l1_correct:
+                    l1_correct_n += 1
+                if override:
+                    overrides_n += 1
+                    if final_correct and not l1_correct:
+                        helpful_n += 1
+                    elif l1_correct and not final_correct:
+                        harmful_n += 1
+                if use_arvi:
+                    l2_used_n += 1
+                if is_load_branch:
+                    load_b += 1
+                    if final_correct:
+                        load_c += 1
+                else:
+                    calc_b += 1
+                    if final_correct:
+                        calc_c += 1
+            branch_i += 1
+
+    # ---- statistics -------------------------------------------------------
+    result = SimulationResult(
+        benchmark=program.name,
+        configuration=f"arvi {value_mode.value}",
+        pipeline_depth=config.pipeline_depth,
+        warmup_instructions=warmup,
+        speculation=config.speculation,
+    )
+    measured_lo = warmup if warmup < n_run else n_run
+    result.loads = (lowered.load_prefix[n_run]
+                    - lowered.load_prefix[measured_lo])
+    result.stores = (lowered.store_prefix[n_run]
+                     - lowered.store_prefix[measured_lo])
+    result.cond_branches = cond_branches
+    result.final_correct = final_correct_n
+    result.l1_correct = l1_correct_n
+    result.overrides = overrides_n
+    result.overrides_helpful = helpful_n
+    result.overrides_harmful = harmful_n
+    result.l2_used = l2_used_n
+    result.calculated = BranchClassStats(branches=calc_b, correct=calc_c)
+    result.load = BranchClassStats(branches=load_b, correct=load_c)
+    result.arvi_lookups = bvit.stats.lookups
+    result.arvi_bvit_hits = bvit.stats.hits
 
     result.total_instructions = n_run
     result.total_cycles = last_commit

@@ -1,0 +1,957 @@
+"""Trace-specialized replay codegen: compile one workload's stream.
+
+The compiled kernel (:mod:`repro.pipeline.kernel`) replays a lowered
+trace through one generic loop: every instruction pays a fused-code
+fetch, a kernel-class dispatch chain and two dependence-array probes,
+even though the committed stream is overwhelmingly made of a few hot
+straight-line *runs* (maximal segments of consecutive PCs — loop bodies
+and fall-through regions) whose static shape never changes.  This module
+specializes the trace the way a tracing JIT lowers hot paths (PyPy's
+metainterp compiling residual code for a hot trace): it decomposes the
+stream into runs, picks the hottest run *shapes* by dynamic coverage,
+and generates a Python module whose ``replay()`` function unrolls each
+hot shape into straight-line code with the per-instruction interpretive
+work burnt in at codegen time:
+
+* the kernel class (ALU/load/store/... dispatch) becomes the emitted
+  statement sequence — no ``codes[i]`` fetch, no ``k ==`` chain;
+* I-cache line crossings inside a run are static (byte PCs are known),
+  so only a run's *first* instruction checks the fused line-change bit;
+* dependences on producers inside the same run become reads of the
+  producer's ``c<j>`` local (the engine's renamed-register readiness,
+  now a LOAD_FAST); absent sources cost nothing; only cross-run
+  dependences still probe ``dep1``/``dep2``;
+* memory/branch stream cursors advance by per-shape constants.
+
+Cold shapes and the budget-truncated tail fall through to a generic
+inner loop that is textually the kernel's — so any run the specializer
+does not unroll executes the exact same arithmetic.  The generated
+function returns ``(last_commit, commit_arr)`` and the wrapper routes
+them through :func:`repro.pipeline.kernel.stream_result`, making
+specialized results equal to ``kernel_run``'s **by construction** for
+everything downstream of the timing loop; the timing loop itself is
+gated bit-for-bit by ``tests/pipeline/test_specialize.py`` and
+``python -m repro.bench``.
+
+Generated modules are cached content-addressed next to the trace store
+(``benchmarks/results/specialized/``, relocate with
+``REPRO_KERNEL_SPEC_DIR``): the key hashes the committed PC stream, the
+program identity, the I-cache line mask, the package source fingerprint
+(:func:`repro.experiments.plan.code_fingerprint` — editing the
+simulator or this generator strands stale modules under dead keys) and
+``SPEC_VERSION``.  Every cached file carries a first-line SHA-256 of
+its own body; a mismatch (bit-rot, hand edits, torn writes) is a cache
+miss that regenerates — divergent code is never executed.  Selection is
+the ``REPRO_KERNEL_SPEC`` knob (:func:`repro.experiments.tracing.
+spec_mode`, default off), observable as ``kernel_source="specialized"``
+in the run ledger.  See DESIGN.md §13.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import time
+from collections import Counter
+from types import SimpleNamespace
+
+from repro import obs
+from repro.faults import fsio
+from repro.pipeline.caches import MemoryHierarchy
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.functional import DEFAULT_MAX_INSTRUCTIONS
+from repro.pipeline.kernel import (
+    _STREAM_KINDS,
+    KernelUnsupported,
+    LoweredTrace,
+    ensure_lowered,
+    stream_result,
+)
+from repro.pipeline.trace import CommittedTrace, TraceError
+from repro.isa.program import Program
+from repro.pipeline.stats import SimulationResult
+from repro.predictors.twolevel import LevelTwoKind
+
+__all__ = [
+    "SPEC_VERSION",
+    "default_spec_dir",
+    "generate_source",
+    "spec_cache_key",
+    "specialized_run",
+]
+
+#: Versions the generated-module layout; bumping it (or any source edit,
+#: via the fingerprint) re-keys every cached module.
+SPEC_VERSION = 1
+
+# Shape-selection policy: unroll the hottest segment shapes by dynamic
+# coverage (occurrences x length) within a fixed code-size budget, so
+# generated modules stay small no matter how large the trace is.
+# Everything else takes the generic loop.
+_MAX_SHAPES = 32
+_MAX_SHAPE_LEN = 160
+_UNROLL_BUDGET = 2048
+_MAX_MERGES = 64
+
+# Kernel classes, mirrored from isa.decoded (baked as literals into the
+# generated source, so the generated module imports nothing from repro).
+_K_ALU, _K_OTHER, _K_LOAD, _K_STORE, _K_MULT, _K_DIV, _K_BRANCH = range(7)
+
+
+def default_spec_dir() -> pathlib.Path:
+    """``REPRO_KERNEL_SPEC_DIR`` or ``benchmarks/results/specialized``."""
+    override = os.environ.get("REPRO_KERNEL_SPEC_DIR")
+    if override:
+        return pathlib.Path(override)
+    root = pathlib.Path(__file__).resolve().parents[3]
+    if not (root / "pyproject.toml").is_file():
+        root = pathlib.Path.cwd()
+    return root / "benchmarks" / "results" / "specialized"
+
+
+def _shape_length(shape: tuple) -> int:
+    return sum(length for _pc, length in shape)
+
+
+class _Decomposition:
+    """Segment decomposition of one committed stream (config-free).
+
+    The stream splits into *runs* (maximal consecutive-PC segments);
+    because a trace is overwhelmingly loops, the run-shape sequence
+    itself repeats, so adjacent runs are greedily pair-merged
+    (byte-pair encoding over the shape string, the way a tracing JIT
+    grows a residual trace past basic-block boundaries) into
+    *segments* that cover whole loop iterations.  Merging is what makes
+    specialization pay: a segment's interior I-cache line changes and
+    cross-run dependences become static, and the per-segment dispatch
+    cost amortizes over many instructions.
+
+    ``run_bases[r]:run_ends[r]`` is the r-th segment's contiguous
+    stream-index range; ``run_shapes[r]`` is the selected shape's
+    dispatch id or ``-1`` (generic); ``shapes`` lists the selected
+    keys — each a tuple of ``(start_pc, length)`` member runs —
+    ordered by *occurrence count* so the generated dispatch chain
+    tests the most common shape first.
+    """
+
+    __slots__ = ("run_bases", "run_ends", "run_shapes", "shapes")
+
+    def __init__(self, lowered: LoweredTrace) -> None:
+        pcs = lowered.pcs
+        n = lowered.length
+        bases: list[int] = []
+        ends: list[int] = []
+        keys: list[tuple] = []
+        i = 0
+        while i < n:
+            base = i
+            pc = pcs[i]
+            i += 1
+            while i < n and pcs[i] == pcs[i - 1] + 1:
+                i += 1
+            bases.append(base)
+            ends.append(i)
+            keys.append(((pc, i - base),))
+
+        # Byte-pair merge rounds: fold the most frequent adjacent
+        # shape pair into one segment shape until nothing hot is left.
+        for _round in range(_MAX_MERGES):
+            floor = max(4, len(keys) // 256)
+            pair_counts: Counter = Counter()
+            for pair in zip(keys, keys[1:]):
+                pair_counts[pair] += 1
+            best = None
+            best_count = 0
+            for pair, count in pair_counts.items():
+                if count < floor or count < best_count:
+                    continue
+                if _shape_length(pair[0]) + _shape_length(pair[1]) \
+                        > _MAX_SHAPE_LEN:
+                    continue
+                if count > best_count or (count == best_count
+                                          and pair < best):
+                    best = pair
+                    best_count = count
+            if best is None:
+                break
+            merged = best[0] + best[1]
+            new_keys: list[tuple] = []
+            new_bases: list[int] = []
+            new_ends: list[int] = []
+            i = 0
+            last = len(keys) - 1
+            while i < len(keys):
+                if i < last and (keys[i], keys[i + 1]) == best:
+                    new_keys.append(merged)
+                    new_bases.append(bases[i])
+                    new_ends.append(ends[i + 1])
+                    i += 2
+                else:
+                    new_keys.append(keys[i])
+                    new_bases.append(bases[i])
+                    new_ends.append(ends[i])
+                    i += 1
+            keys, bases, ends = new_keys, new_bases, new_ends
+
+        counts = Counter(keys)
+        # Select by coverage (ties broken deterministically by key) ...
+        ranked = sorted(counts.items(),
+                        key=lambda kv: (-kv[1] * _shape_length(kv[0]),
+                                        kv[0]))
+        floor = n // 1000
+        selected: list[tuple] = []
+        budget = _UNROLL_BUDGET
+        for key, count in ranked:
+            if len(selected) >= _MAX_SHAPES:
+                break
+            length = _shape_length(key)
+            if count * length < floor:
+                break  # ranked by coverage: everything below is colder
+            if length > budget:
+                continue
+            selected.append(key)
+            budget -= length
+        # ... but dispatch by frequency: the if/elif chain in the
+        # generated module is walked once per segment, so the most
+        # *common* shape must match first regardless of its length.
+        selected.sort(key=lambda key: (-counts[key], key))
+        shape_id = {key: s for s, key in enumerate(selected)}
+        ids = [shape_id.get(key, -1) for key in keys]
+        # Coalesce consecutive generic runs into one stretch each: the
+        # generic arm loops over a whole index range anyway, so cold
+        # regions pay the per-segment dispatch scaffold once per *gap*
+        # rather than once per run.
+        run_bases: list[int] = []
+        run_ends: list[int] = []
+        run_shapes: list[int] = []
+        for base, end, sid in zip(bases, ends, ids):
+            if sid < 0 and run_shapes and run_shapes[-1] < 0 \
+                    and run_ends[-1] == base:
+                run_ends[-1] = end
+            else:
+                run_bases.append(base)
+                run_ends.append(end)
+                run_shapes.append(sid)
+        self.run_bases = run_bases
+        self.run_ends = run_ends
+        self.run_shapes = run_shapes
+        self.shapes = selected
+
+
+def _select_lines(prefix: str, k: int, ready: str, out: str) -> list[str]:
+    """Unit-occupancy server selection (the kernel's heappop/heappush).
+
+    The kernel models a k-server FU as a min-heap of free times, but
+    every operation reads *only* the minimum and replaces it — heap
+    order never observably matters, so for small k an if/elif argmin
+    over scalar locals is bit-equivalent and saves two C calls per
+    instruction (the hottest single cost in the kernel loop).  Larger
+    k (non-standard configs) keeps the heap.
+    """
+    if 1 <= k <= 4:
+        names = [f"{prefix}{s}" for s in range(k)]
+        lines: list[str] = []
+        pad = "    " if k > 1 else ""
+        for s, name in enumerate(names):
+            rest = names[s + 1:]
+            if rest:
+                cond = " and ".join(f"{name} <= {other}" for other in rest)
+                lines.append(f"{'if' if s == 0 else 'elif'} {cond}:")
+            elif k > 1:
+                lines.append("else:")
+            lines.append(f"{pad}{out} = {ready} if {ready} >= {name} "
+                         f"else {name}")
+            lines.append(f"{pad}{name} = {out} + 1")
+        return lines
+    return [
+        f"server_free = heappop({prefix}_free)",
+        f"{out} = {ready} if {ready} >= server_free else server_free",
+        f"heappush({prefix}_free, {out} + 1)",
+    ]
+
+
+def _server_init_lines(prefix: str, k: int) -> list[str]:
+    if 1 <= k <= 4:
+        chain = " = ".join(f"{prefix}{s}" for s in range(k))
+        return [f"{chain} = 0"]
+    return [f"{prefix}_free = [0] * {k}"]
+
+
+def _ifetch_lines(bpc, geom: tuple) -> list[str]:
+    """I-side memory access at a line change, hit path inlined.
+
+    The hierarchy call (``instruction_latency`` → ``_access`` → TLB +
+    L1I methods) costs four frames and LRU bookkeeping per line change;
+    the overwhelmingly common case — ITLB hit and L1I hit — adds zero
+    cycles (``extra`` is the latency beyond the baked hit latency).  So
+    probe both LRU dicts inline and only fall back to the real method
+    on any miss, pre-decrementing the ticks the fast path claimed so
+    the method replays the access with identical tick numbers (LRU
+    recency and statistics stay bit-identical).  ``bpc`` is either a
+    literal byte PC (unrolled sites: set index and tag fold to
+    constants) or an expression.
+    """
+    its, itn, l1s, l1n = geom[0], geom[1], geom[2], geom[3]
+    lines = [
+        "itlb._tick = t_tick = itlb._tick + 1",
+        "l1i._tick = c_tick = l1i._tick + 1",
+    ]
+    if isinstance(bpc, int):
+        page, line = bpc >> its, bpc >> l1s
+        tset = f"itlb_sets[{page % itn}]"
+        cset = f"l1i_sets[{line % l1n}]"
+        ptag, ctag = str(page // itn), str(line // l1n)
+        addr = str(bpc)
+    else:
+        lines += [
+            f"a = {bpc}",
+            f"page = a >> {its}",
+            f"line = a >> {l1s}",
+            f"ptag = page // {itn}",
+            f"ctag = line // {l1n}",
+        ]
+        tset = f"itlb_sets[page % {itn}]"
+        cset = f"l1i_sets[line % {l1n}]"
+        ptag, ctag = "ptag", "ctag"
+        addr = "a"
+    lines += [
+        f"tset = {tset}",
+        f"cset = {cset}",
+        f"if {ptag} in tset and {ctag} in cset:",
+        f"    tset[{ptag}] = t_tick",
+        f"    cset[{ctag}] = c_tick",
+        "    itlb.hits += 1",
+        "    l1i.hits += 1",
+        "else:",
+        "    itlb._tick -= 1",
+        "    l1i._tick -= 1",
+        f"    extra = mem_ilat({addr}) - icache_hit_latency",
+        "    if extra > 0:",
+        "        earliest += extra",
+    ]
+    return lines
+
+
+def _dload_lines(addr_expr: str, out: str, geom: tuple) -> list[str]:
+    """D-side access for a non-forwarded load, hit path inlined.
+
+    Same scheme as :func:`_ifetch_lines` for DTLB + L1D: a double hit
+    completes at ``access`` plus the L1D hit latency with two dict
+    probes; anything else falls back to ``data_latency`` with the
+    claimed ticks returned (the shared L2 is only ever touched by the
+    fallback, in the same access order as the kernel's).
+    """
+    dts, dtn, lds, ldn = geom[4], geom[5], geom[6], geom[7]
+    return [
+        f"a = {addr_expr}",
+        "dtlb._tick = t_tick = dtlb._tick + 1",
+        "l1d._tick = c_tick = l1d._tick + 1",
+        f"page = a >> {dts}",
+        f"line = a >> {lds}",
+        f"ptag = page // {dtn}",
+        f"ctag = line // {ldn}",
+        f"tset = dtlb_sets[page % {dtn}]",
+        f"cset = l1d_sets[line % {ldn}]",
+        "if ptag in tset and ctag in cset:",
+        "    tset[ptag] = t_tick",
+        "    cset[ctag] = c_tick",
+        "    dtlb.hits += 1",
+        "    l1d.hits += 1",
+        f"    {out} = access + l1d_hit_lat",
+        "else:",
+        "    dtlb._tick -= 1",
+        "    l1d._tick -= 1",
+        f"    {out} = access + mem_dlat(a)",
+    ]
+
+
+# The generic inner loop over index ``i`` — textually the kernel stream
+# loop's body (kernel classes as literals) with the server heaps
+# argmin-inlined: cold shapes and the budget-truncated tail run the
+# exact kernel arithmetic.
+_GENERIC_PRE = """\
+code = codes[i]
+k = code & 7
+earliest = fetch_barrier
+if i >= rob_capacity:
+    free_at = commit_arr[i - rob_capacity] + 1
+    if free_at > earliest:
+        earliest = free_at
+if k == 2 or k == 3:
+    if mem_i >= lsq_capacity:
+        free_at = commit_arr[mem_pos[mem_i - lsq_capacity]] + 1
+        if free_at > earliest:
+            earliest = free_at"""
+
+_GENERIC_MID = """\
+if earliest > fetch_cycle:
+    fetch_cycle = earliest
+    fetch_used = 0
+if fetch_used >= fetch_width:
+    fetch_cycle += 1
+    fetch_used = 0
+fetch_used += 1
+ready = fetch_cycle + frontend_depth
+dep = dep1[i]
+if dep >= 0:
+    when = complete_arr[dep]
+    if when > ready:
+        ready = when
+dep = dep2[i]
+if dep >= 0:
+    when = complete_arr[dep]
+    if when > ready:
+        ready = when"""
+
+_GENERIC_POST = """\
+commit_req = complete + 1
+if commit_req < last_commit:
+    commit_req = last_commit
+if commit_req > commit_cycle:
+    commit_cycle = commit_req
+    commit_used = 0
+if commit_used >= commit_width:
+    commit_cycle += 1
+    commit_used = 0
+commit_used += 1
+last_commit = commit_cycle
+commit_arr[i] = last_commit
+complete_arr[i] = complete
+if k == 6:
+    if branch_bad[branch_i]:
+        barrier = complete + 1
+        if barrier > fetch_barrier:
+            fetch_barrier = barrier
+    elif branch_override[branch_i]:
+        barrier = fetch_cycle + override_redirect
+        if barrier > fetch_barrier:
+            fetch_barrier = barrier
+    branch_i += 1"""
+
+
+def _generic_lines(n_alus: int, n_ports: int, geom: tuple) -> list[str]:
+    """The generic per-instruction body for the baked constants."""
+    lines = _GENERIC_PRE.splitlines()
+    a = lines.append
+
+    def splice(block: list[str], pad: str) -> None:
+        for line in block:
+            a(pad + line)
+
+    def select(prefix: str, k: int, ready: str, out: str) -> None:
+        splice(_select_lines(prefix, k, ready, out), "    ")
+
+    a("if code & 8:")
+    splice(_ifetch_lines("byte_pcs[i]", geom), "    ")
+    lines.extend(_GENERIC_MID.splitlines())
+    a("if k == 0 or k == 6:")
+    select("alu", n_alus, "ready", "issue")
+    a("    complete = issue + alu_latency")
+    a("elif k == 2:")
+    select("alu", n_alus, "ready", "issue")
+    a("    agen1 = issue + 1")
+    select("dc", n_ports, "agen1", "access")
+    a("    source = store_dep[mem_i]")
+    a("    if source >= 0 and commit_arr[source] > access:")
+    a("        data_ready = complete_arr[source]")
+    a("        complete = (access if access >= data_ready "
+      "else data_ready) + 1")
+    a("    else:")
+    splice(_dload_lines("mem_addr[mem_i]", "complete", geom), "        ")
+    a("    mem_i += 1")
+    a("elif k == 3:")
+    select("alu", n_alus, "ready", "issue")
+    a("    complete = issue + 1")
+    a("    mem_i += 1")
+    a("elif k == 1:")
+    select("alu", n_alus, "ready", "issue")
+    a("    complete = issue + 1")
+    a("elif k == 4:")
+    a("    if muldiv_scalar:")
+    a("        issue = ready if ready >= muldiv_free else muldiv_free")
+    a("        muldiv_free = issue + 1")
+    a("    else:")
+    a("        server_free = heappop(muldiv_heap)")
+    a("        issue = ready if ready >= server_free else server_free")
+    a("        heappush(muldiv_heap, issue + 1)")
+    a("    complete = issue + mult_latency")
+    a("else:")
+    a("    if muldiv_scalar:")
+    a("        issue = ready if ready >= muldiv_free else muldiv_free")
+    a("        muldiv_free = issue + div_latency")
+    a("    else:")
+    a("        server_free = heappop(muldiv_heap)")
+    a("        issue = ready if ready >= server_free else server_free")
+    a("        heappush(muldiv_heap, issue + div_latency)")
+    a("    complete = issue + div_latency")
+    lines.extend(_GENERIC_POST.splitlines())
+    return lines
+
+
+def _emit_generic(out: list[str], indent: str, glines: list[str]) -> None:
+    for line in glines:
+        out.append(indent + line if line else "")
+
+
+def _emit_shape(out: list[str], indent: str, shape: tuple,
+                cls_tab, src1_tab, src2_tab, wr_tab, line_mask: int,
+                n_alus: int, n_ports: int, geom: tuple) -> None:
+    """Emit the straight-line block for one segment shape.
+
+    ``shape`` is a tuple of ``(start_pc, length)`` member runs covering
+    a contiguous stream-index range.  Index arithmetic uses ``base``
+    (the segment's stream position) plus the line offset; the
+    memory/branch cursors advance by constants and are bumped once at
+    the end of the block.  ``writers`` tracks which line of *this*
+    segment last wrote each register, so dependences on in-segment
+    producers read the producer's ``c<j>`` local — exactly what
+    ``dep1``/``dep2`` resolve to for these indices (same static tables,
+    same stream order), just without the array probes.  Only the
+    segment's first instruction probes the fused line-change bit (it
+    depends on the previous segment's last fetch line); every interior
+    line crossing — including at member-run heads — is static.
+    """
+    w = out.append
+    mem_c = 0
+    branch_c = 0
+    writers: dict[int, int] = {}
+    pc_seq: list[int] = []
+    for start_pc, length in shape:
+        pc_seq.extend(range(start_pc, start_pc + length))
+    def select(prefix: str, k: int, ready: str, out_var: str) -> None:
+        for line in _select_lines(prefix, k, ready, out_var):
+            w(indent + line)
+
+    def splice(block: list[str], pad: str = "") -> None:
+        for line in block:
+            w(indent + pad + line)
+
+    for j, pc in enumerate(pc_seq):
+        k = cls_tab[pc]
+        byte_pc = pc * 4
+        w(f"{indent}# pc {pc} (+{j})")
+        if j:
+            # Hoist the stream index once: it feeds the ROB guard, the
+            # commit/complete writes and any cross-segment dep probes.
+            idx = "bi"
+            w(f"{indent}bi = base + {j}")
+        else:
+            idx = "base"
+        # ---- fetch --------------------------------------------------
+        w(f"{indent}earliest = fetch_barrier")
+        w(f"{indent}if {idx} >= rob_capacity:")
+        w(f"{indent}    free_at = commit_arr[{idx} - rob_capacity] + 1")
+        w(f"{indent}    if free_at > earliest:")
+        w(f"{indent}        earliest = free_at")
+        if k == _K_LOAD or k == _K_STORE:
+            mexp = f"mem_i + {mem_c}" if mem_c else "mem_i"
+            w(f"{indent}if {mexp} >= lsq_capacity:")
+            w(f"{indent}    free_at = "
+              f"commit_arr[mem_pos[{mexp} - lsq_capacity]] + 1")
+            w(f"{indent}    if free_at > earliest:")
+            w(f"{indent}        earliest = free_at")
+        if j == 0:
+            # The segment head's line-change bit depends on the
+            # previous segment's last fetch line — the block's only
+            # codes[] probe.
+            w(f"{indent}if codes[base] & 8:")
+            splice(_ifetch_lines(byte_pc, geom), "    ")
+        elif (byte_pc & line_mask) != ((pc_seq[j - 1] * 4) & line_mask):
+            splice(_ifetch_lines(byte_pc, geom))
+        w(f"{indent}if earliest > fetch_cycle:")
+        w(f"{indent}    fetch_cycle = earliest")
+        w(f"{indent}    fetch_used = 0")
+        w(f"{indent}if fetch_used >= fetch_width:")
+        w(f"{indent}    fetch_cycle += 1")
+        w(f"{indent}    fetch_used = 0")
+        w(f"{indent}fetch_used += 1")
+        # ---- operand readiness -------------------------------------
+        w(f"{indent}ready = fetch_cycle + frontend_depth")
+        seen_regs: set[int] = set()
+        for src, dep_arr in ((src1_tab[pc], "dep1"), (src2_tab[pc], "dep2")):
+            if src < 0 or src in seen_regs:
+                continue
+            seen_regs.add(src)
+            producer = writers.get(src)
+            if producer is not None:
+                w(f"{indent}if c{producer} > ready:")
+                w(f"{indent}    ready = c{producer}")
+            else:
+                w(f"{indent}dep = {dep_arr}[{idx}]")
+                w(f"{indent}if dep >= 0:")
+                w(f"{indent}    when = complete_arr[dep]")
+                w(f"{indent}    if when > ready:")
+                w(f"{indent}        ready = when")
+        # ---- execute ------------------------------------------------
+        cj = f"c{j}"
+        if k == _K_ALU or k == _K_BRANCH:
+            select("alu", n_alus, "ready", "issue")
+            w(f"{indent}{cj} = issue + alu_latency")
+        elif k == _K_LOAD:
+            mexp = f"mem_i + {mem_c}" if mem_c else "mem_i"
+            select("alu", n_alus, "ready", "issue")
+            w(f"{indent}agen1 = issue + 1")
+            select("dc", n_ports, "agen1", "access")
+            w(f"{indent}source = store_dep[{mexp}]")
+            w(f"{indent}if source >= 0 and commit_arr[source] > access:")
+            w(f"{indent}    data_ready = complete_arr[source]")
+            w(f"{indent}    {cj} = (access if access >= data_ready "
+              "else data_ready) + 1")
+            w(f"{indent}else:")
+            splice(_dload_lines(f"mem_addr[{mexp}]", cj, geom), "    ")
+        elif k == _K_STORE or k == _K_OTHER:
+            select("alu", n_alus, "ready", "issue")
+            w(f"{indent}{cj} = issue + 1")
+        else:  # _K_MULT / _K_DIV
+            occupy = "1" if k == _K_MULT else "div_latency"
+            latency = "mult_latency" if k == _K_MULT else "div_latency"
+            w(f"{indent}if muldiv_scalar:")
+            w(f"{indent}    issue = ready if ready >= muldiv_free "
+              "else muldiv_free")
+            w(f"{indent}    muldiv_free = issue + {occupy}")
+            w(f"{indent}else:")
+            w(f"{indent}    server_free = heappop(muldiv_heap)")
+            w(f"{indent}    issue = ready if ready >= server_free "
+              "else server_free")
+            w(f"{indent}    heappush(muldiv_heap, issue + {occupy})")
+            w(f"{indent}{cj} = issue + {latency}")
+        # ---- commit -------------------------------------------------
+        w(f"{indent}commit_req = {cj} + 1")
+        w(f"{indent}if commit_req < last_commit:")
+        w(f"{indent}    commit_req = last_commit")
+        w(f"{indent}if commit_req > commit_cycle:")
+        w(f"{indent}    commit_cycle = commit_req")
+        w(f"{indent}    commit_used = 0")
+        w(f"{indent}if commit_used >= commit_width:")
+        w(f"{indent}    commit_cycle += 1")
+        w(f"{indent}    commit_used = 0")
+        w(f"{indent}commit_used += 1")
+        w(f"{indent}last_commit = commit_cycle")
+        w(f"{indent}commit_arr[{idx}] = last_commit")
+        w(f"{indent}complete_arr[{idx}] = {cj}")
+        # ---- control flow resolution --------------------------------
+        if k == _K_BRANCH:
+            bexp = f"branch_i + {branch_c}" if branch_c else "branch_i"
+            w(f"{indent}if branch_bad[{bexp}]:")
+            w(f"{indent}    barrier = {cj} + 1")
+            w(f"{indent}    if barrier > fetch_barrier:")
+            w(f"{indent}        fetch_barrier = barrier")
+            w(f"{indent}elif branch_override[{bexp}]:")
+            w(f"{indent}    barrier = fetch_cycle + override_redirect")
+            w(f"{indent}    if barrier > fetch_barrier:")
+            w(f"{indent}        fetch_barrier = barrier")
+            branch_c += 1
+        if k == _K_LOAD or k == _K_STORE:
+            mem_c += 1
+        dest = wr_tab[pc]
+        if dest >= 0:
+            writers[dest] = j
+    if mem_c:
+        w(f"{indent}mem_i += {mem_c}")
+    if branch_c:
+        w(f"{indent}branch_i += {branch_c}")
+
+
+def generate_source(lowered: LoweredTrace, decomp: _Decomposition,
+                    line_mask: int, n_alus: int, n_ports: int,
+                    geom: tuple) -> str:
+    """Generate the specialized module's source text (deterministic)."""
+    program = lowered.program
+    cls_tab, src1_tab, src2_tab, wr_tab, _ras, _hasres = \
+        program.decoded().static_columns()
+    glines = _generic_lines(n_alus, n_ports, geom)
+    out: list[str] = []
+    w = out.append
+    w(f"# Trace-specialized replay of {program.name!r} "
+      f"(spec v{SPEC_VERSION}, line mask {line_mask & 0xFFFFFFFF:#x}, "
+      f"{n_alus} ALUs, {n_ports} D-cache ports, geometry {geom}).")
+    w("# Generated by repro.pipeline.specialize; do not edit -- the")
+    w("# loader verifies the first-line checksum and regenerates.")
+    w("from heapq import heappop, heappush")
+    w("")
+    w(f"LINE_MASK = {line_mask}")
+    w(f"PROGRAM = {program.name!r}")
+    w(f"SERVERS = ({n_alus}, {n_ports})")
+    w(f"GEOMETRY = {geom!r}")
+    w(f"SHAPES = {decomp.shapes!r}")
+    w("")
+    w("")
+    w("def replay(n_run, codes, byte_pcs, dep1, dep2, mem_pos, mem_addr,")
+    w("           store_dep, branch_bad, branch_override,")
+    w("           run_bases, run_ends, run_shapes,")
+    w("           memory, icache_hit_latency, frontend_depth,")
+    w("           fetch_width, commit_width, rob_capacity, lsq_capacity,")
+    w("           alu_latency, mult_latency, div_latency,")
+    w("           override_redirect, muldiv_scalar, n_muldiv):")
+    w("    # Memory hierarchy unpacked for the inline hit fast paths;")
+    w("    # misses fall back to the bound methods (shared L2, LRU")
+    w("    # eviction) against the same objects.")
+    w("    itlb = memory.itlb")
+    w("    l1i = memory.l1i")
+    w("    dtlb = memory.dtlb")
+    w("    l1d = memory.l1d")
+    w("    itlb_sets = itlb._sets")
+    w("    l1i_sets = l1i._sets")
+    w("    dtlb_sets = dtlb._sets")
+    w("    l1d_sets = l1d._sets")
+    w("    l1d_hit_lat = l1d.hit_latency")
+    w("    mem_ilat = memory.instruction_latency")
+    w("    mem_dlat = memory.data_latency")
+    w("    complete_arr = [0] * n_run")
+    w("    commit_arr = [0] * n_run")
+    for line in _server_init_lines("alu", n_alus):
+        w("    " + line)
+    for line in _server_init_lines("dc", n_ports):
+        w("    " + line)
+    w("    muldiv_free = 0")
+    w("    muldiv_heap = [0] * n_muldiv")
+    w("    fetch_barrier = 0")
+    w("    fetch_cycle = fetch_used = 0")
+    w("    commit_cycle = commit_used = 0")
+    w("    last_commit = 0")
+    w("    mem_i = 0")
+    w("    branch_i = 0")
+    w("    n_runs = len(run_bases)")
+    w("    r = 0")
+    w("    while r < n_runs:")
+    w("        end = run_ends[r]")
+    w("        if end > n_run:")
+    w("            break  # budget-truncated tail: generic loop below")
+    w("        base = run_bases[r]")
+    if decomp.shapes:
+        # Each arm advances r itself and loops while the *same* shape
+        # recurs back-to-back (loop iterations usually do), skipping
+        # the dispatch chain for the repeats.
+        w("        shape = run_shapes[r]")
+        for s, shape in enumerate(decomp.shapes):
+            branch = "if" if s == 0 else "elif"
+            runs_txt = " ".join(f"{pc}+{length}" for pc, length in shape)
+            w(f"        {branch} shape == {s}:  # runs {runs_txt}")
+            w("            while True:")
+            _emit_shape(out, " " * 16, shape,
+                        cls_tab, src1_tab, src2_tab, wr_tab, line_mask,
+                        n_alus, n_ports, geom)
+            w("                r += 1")
+            w(f"                if r >= n_runs or run_shapes[r] != {s}:")
+            w("                    break")
+            w("                end = run_ends[r]")
+            w("                if end > n_run:")
+            w("                    break")
+            w("                base = run_bases[r]")
+        w("        else:")
+        w("            i = base")
+        w("            while i < end:")
+        _emit_generic(out, " " * 16, glines)
+        w("                i += 1")
+        w("            r += 1")
+    else:
+        w("        i = base")
+        w("        while i < end:")
+        _emit_generic(out, " " * 12, glines)
+        w("            i += 1")
+        w("        r += 1")
+    w("    i = run_bases[r] if r < n_runs else n_run")
+    w("    while i < n_run:")
+    _emit_generic(out, " " * 8, glines)
+    w("        i += 1")
+    w("    return last_commit, commit_arr")
+    w("")
+    return "\n".join(out)
+
+
+def spec_cache_key(lowered: LoweredTrace, line_mask: int,
+                   n_alus: int, n_ports: int, geom: tuple) -> str:
+    """Content hash addressing one generated module on disk.
+
+    Covers everything the generated source is a function of: the
+    committed PC stream (runs, shapes, baked byte PCs), the program
+    identity, the I-cache line mask (baked line-change statics), the
+    server counts (argmin-inlined FU selection), the TLB/L1 geometry
+    (baked set indices and tags in the memory fast paths), the package
+    source fingerprint (static decode tables *and* this generator
+    itself) and ``SPEC_VERSION`` — so simulator edits, new recordings
+    and layout changes all strand stale modules under dead keys instead
+    of replaying them.
+    """
+    # Imported lazily: the fingerprint lives in the experiments layer,
+    # which pipeline modules must not need at import time.
+    from repro.experiments.plan import code_fingerprint
+    digest = hashlib.sha256()
+    digest.update(f"repro-specialized-v{SPEC_VERSION}\n".encode())
+    digest.update(code_fingerprint().encode())
+    digest.update(f"{lowered.program.name}\n{line_mask}\n"
+                  f"{n_alus}:{n_ports}:{geom}\n"
+                  f"{lowered.length}\n".encode())
+    digest.update(lowered.trace.pcs.tobytes())
+    return digest.hexdigest()
+
+
+def _warm(fn) -> None:
+    """Run the compiled ``replay`` past the interpreter's warmup gate.
+
+    CPython 3.11 only quickens a code object (rewrites its bytecode to
+    the adaptive forms that then specialize) after ``8`` calls; a tight
+    loop like ``kernel_run``'s warms within its first call via loop
+    backedges, but the generated function re-enters once per replay and
+    would otherwise run its first seven replays ~45% slower on cold
+    bytecode.  Eight zero-instruction calls (``n_run=0``: every loop
+    exits immediately) cost microseconds and cross the gate up front.
+    """
+    empty: list = []
+    stub = SimpleNamespace(_sets=empty, _tick=0, hits=0, misses=0,
+                           hit_latency=1)
+    memory = SimpleNamespace(itlb=stub, l1i=stub, dtlb=stub, l1d=stub,
+                             instruction_latency=None, data_latency=None)
+    for _ in range(8):
+        fn(0, empty, empty, empty, empty, empty, empty, empty, empty,
+           empty, empty, empty, empty, memory, 1, 1, 1, 1, 1, 1, 1, 1,
+           1, 1, False, 1)
+
+
+def _checksum_header(body: str) -> str:
+    return "# sha256=" + hashlib.sha256(body.encode()).hexdigest()
+
+
+def _load_cached(path: pathlib.Path):
+    """Load a cached module; any malformed/mangled file is a miss.
+
+    The first line must be the SHA-256 of the remainder: a file that
+    was corrupted, torn or hand-edited fails the check and is
+    regenerated — unverified content is never compiled or executed.
+    """
+    try:
+        text = path.read_text()
+    except (OSError, UnicodeDecodeError):
+        return None
+    newline = text.find("\n")
+    if newline < 0:
+        return None
+    header, body = text[:newline], text[newline + 1:]
+    if header != _checksum_header(body):
+        return None
+    try:
+        code = compile(body, str(path), "exec")
+    except (SyntaxError, ValueError):
+        return None
+    namespace: dict = {}
+    exec(code, namespace)
+    fn = namespace.get("replay")
+    return fn if callable(fn) else None
+
+
+def _replay_fn(lowered: LoweredTrace, line_mask: int,
+               n_alus: int, n_ports: int, geom: tuple,
+               spec_dir: "str | os.PathLike | None",
+               phase_seconds: "dict | None" = None):
+    """The compiled ``replay`` for one (trace, baked constants).
+
+    In-memory the function is cached on the lowered trace (one codegen
+    per workload per batch, like the lowering itself); on disk the
+    source is content-addressed under :func:`spec_cache_key` so later
+    processes skip the codegen cost and only pay ``compile()``.  A
+    codegen that actually runs is its own ``phase="codegen"`` ledger
+    span, and its wall clock lands in ``phase_seconds["codegen"]`` when
+    the caller passes the dict (the bench harness reads it).
+    """
+    spec = lowered._specialized
+    if spec is None:
+        spec = lowered._specialized = {"decomp": _Decomposition(lowered)}
+    decomp = spec["decomp"]
+    mem_key = (line_mask, n_alus, n_ports, geom)
+    fn = spec.get(mem_key)
+    if fn is not None:
+        return fn, decomp
+    directory = pathlib.Path(spec_dir) if spec_dir is not None \
+        else default_spec_dir()
+    key = spec_cache_key(lowered, line_mask, n_alus, n_ports, geom)
+    path = directory / f"{key}.py"
+    fn = _load_cached(path)
+    if fn is None:
+        start = time.perf_counter()
+        with obs.span("codegen", kind="phase", attrs={
+                "phase": "codegen",
+                "benchmark": lowered.program.name}):
+            source = generate_source(lowered, decomp, line_mask,
+                                     n_alus, n_ports, geom)
+            code = compile(source, str(path), "exec")
+            namespace: dict = {}
+            exec(code, namespace)
+            fn = namespace["replay"]
+            payload = _checksum_header(source) + "\n" + source
+            directory.mkdir(parents=True, exist_ok=True)
+            fsio.atomic_write_bytes(path, payload.encode(),
+                                    site="spec.put")
+        if phase_seconds is not None:
+            phase_seconds["codegen"] = time.perf_counter() - start
+    _warm(fn)
+    spec[mem_key] = fn
+    return fn, decomp
+
+
+def specialized_run(program: Program, trace: CommittedTrace,
+                    config: MachineConfig,
+                    kind: LevelTwoKind = LevelTwoKind.HYBRID, *,
+                    warmup_instructions: int = 0,
+                    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                    spec_dir: "str | os.PathLike | None" = None,
+                    phase_seconds: "dict | None" = None,
+                    ) -> SimulationResult:
+    """Replay one configuration through the specialized module.
+
+    Drop-in for :func:`repro.pipeline.kernel.kernel_run` over the
+    stream kinds (hybrid/none), bit-for-bit equal to it (and therefore
+    to the interpreted replay and live execution).  Anything else —
+    wrongpath speculation, the ARVI kinds (their fused pass keeps live
+    per-config state no decision stream can bake) — raises
+    :class:`KernelUnsupported` so the caller falls through to the next
+    tier (``kernel_run``, then interpreted replay).
+    """
+    if config.speculation != "redirect":
+        raise KernelUnsupported(
+            f"replay of {trace.program_name!r}: the specialized replay "
+            "models redirect speculation only; wrongpath synthesis reads "
+            "live architectural state")
+    if kind not in _STREAM_KINDS:
+        raise KernelUnsupported(
+            f"replay of {trace.program_name!r}: trace specialization "
+            f"covers the precomputable stream kinds; level-2 kind "
+            f"{kind.value!r} replays through the fused kernel pass")
+    lowered = ensure_lowered(program, trace)
+    n = lowered.length
+    if max_instructions > n and not trace.halted:
+        raise TraceError(
+            f"trace of {trace.program_name!r} exhausted at instruction "
+            f"{n}: it was truncated at max_instructions="
+            f"{trace.max_instructions}; use a live FunctionalCore or "
+            "record a longer trace")
+    n_run = n if n < max_instructions else max_instructions
+    if n_run < 0:
+        n_run = 0
+
+    line_mask = ~(config.icache.line_bytes - 1)
+    memory = MemoryHierarchy(config)
+    geom = (memory.itlb._page_shift, memory.itlb._num_sets,
+            memory.l1i._line_shift, memory.l1i._num_sets,
+            memory.dtlb._page_shift, memory.dtlb._num_sets,
+            memory.l1d._line_shift, memory.l1d._num_sets)
+    fn, decomp = _replay_fn(lowered, line_mask, config.int_alus,
+                            config.dcache_ports, geom, spec_dir,
+                            phase_seconds)
+    streams = lowered.streams_for(kind)
+    if kind is LevelTwoKind.HYBRID:
+        override_redirect = config.predictor_latencies.level2_hybrid + 1
+    else:
+        override_redirect = 1  # unreachable: NONE never overrides
+    last_commit, commit_arr = fn(
+        n_run, lowered.codes_for(line_mask), lowered.byte_pcs,
+        lowered.dep1, lowered.dep2, lowered.mem_pos, lowered.mem_addr,
+        lowered.store_dep, streams.bad, streams.override,
+        decomp.run_bases, decomp.run_ends, decomp.run_shapes,
+        memory, config.icache.hit_latency, config.frontend_depth,
+        config.fetch_width, config.commit_width,
+        config.rob_entries, config.lsq_entries,
+        config.alu_latency, config.mult_latency, config.div_latency,
+        override_redirect, config.int_muldiv == 1, config.int_muldiv)
+    return stream_result(lowered, kind, config, warmup_instructions,
+                         n_run, last_commit, commit_arr, memory)

@@ -128,10 +128,12 @@ class TestFallback:
             kernel_run(program, trace,
                        machine_for_depth(20, speculation="wrongpath"))
 
-    def test_arvi_level2_is_unsupported(self, program, trace):
-        with pytest.raises(KernelUnsupported, match="arvi"):
-            kernel_run(program, trace, machine_for_depth(20),
-                       LevelTwoKind.ARVI)
+    def test_unsupported_messages_name_the_workload(self, program, trace):
+        # Fallbacks in a grid are attributed from the run ledger; the
+        # message itself must say *whose* replay declined.
+        with pytest.raises(KernelUnsupported, match="m88ksim"):
+            kernel_run(program, trace,
+                       machine_for_depth(20, speculation="wrongpath"))
 
     def test_truncated_trace_raises_instead_of_diverging(self, program):
         short = record_trace(program, max_instructions=50)
@@ -185,10 +187,14 @@ class TestNumpyFallback:
         for field in ("kclass", "byte_pcs", "dep1", "dep2", "mem_pos",
                       "mem_addr", "store_dep", "load_prefix",
                       "store_prefix", "branch_pos", "branch_pcs",
-                      "branch_taken", "jr_pos", "jr_correct_cum"):
+                      "branch_taken", "jr_pos", "jr_correct_cum",
+                      "_hasres"):
             assert getattr(with_numpy, field) == getattr(pure, field), field
         mask = ~(machine_for_depth(20).icache.line_bytes - 1)
         assert with_numpy.codes_for(mask) == pure.codes_for(mask)
+        # The ARVI pass's densified committed values (numpy scatter vs
+        # the pure-Python cursor walk) must agree element-for-element.
+        assert with_numpy.values() == pure.values()
 
 
 class TestExecutePoint:
@@ -216,11 +222,13 @@ class TestExecutePoint:
         execute_point(self._point(), trace=False, info=info)
         assert info["kernel_source"] == "live"
 
-    def test_arvi_configuration_falls_back_to_interpreted(self, trace):
+    def test_arvi_configuration_replays_through_kernel(self, trace):
+        # Since the fused ARVI pass landed, the paper's own grid axis
+        # replays compiled too — no more interpreted fallback.
         info = {}
         arvi = execute_point(self._point(configuration="current"),
                              trace=trace, info=info)
-        assert info["kernel_source"] == "interpreted"
+        assert info["kernel_source"] == "kernel"
         assert arvi == execute_point(self._point(configuration="current"),
                                      trace=False)
 

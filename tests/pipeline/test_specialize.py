@@ -1,0 +1,242 @@
+"""Trace-specialized replay codegen (DESIGN.md §13).
+
+The invariant stack, top to bottom: the generated per-workload replay
+module is bit-for-bit equal (``==``) to ``kernel_run`` — and therefore
+to the interpreted replay and the live run — over every registered
+workload, both stream kinds, depths, warmups and budgets; the on-disk
+codegen cache never executes unverified content (a corrupted, truncated
+or hand-edited module is a checksum miss that regenerates, never an
+import of divergent code); and the ``REPRO_KERNEL_SPEC`` knob threads
+the tier through ``execute_point`` with ``kernel_source="specialized"``
+observability.
+"""
+
+import functools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.plan import ExperimentPoint
+from repro.experiments.runner import execute_point
+from repro.pipeline.config import machine_for_depth
+from repro.pipeline.engine import PipelineEngine, build_predictor
+from repro.pipeline.kernel import KernelUnsupported, kernel_run
+from repro.pipeline.specialize import (
+    _checksum_header,
+    default_spec_dir,
+    specialized_run,
+)
+from repro.pipeline.trace import TraceReplayCore, record_trace
+from repro.predictors.twolevel import LevelTwoKind
+from repro.workloads.registry import SPECS, get_program
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def program():
+    return get_program("m88ksim", scale=SCALE, seed=1)
+
+
+@pytest.fixture(scope="module")
+def trace(program):
+    return record_trace(program)
+
+
+def _fresh(spec_dir, program, trace, **kwargs):
+    """A cold specialized run: drop the in-memory cache first so the
+    disk path (load-or-generate) is exercised, not the memo."""
+    if trace._lowered_cache is not None:
+        trace._lowered_cache._specialized = None
+    return specialized_run(program, trace, machine_for_depth(
+        kwargs.pop("depth", 20)), spec_dir=spec_dir, **kwargs)
+
+
+class TestEquality:
+    @pytest.mark.parametrize("kind", [LevelTwoKind.HYBRID,
+                                      LevelTwoKind.NONE])
+    @pytest.mark.parametrize("depth", [20, 60])
+    def test_specialized_equals_kernel_equals_interpreted(
+            self, program, trace, tmp_path, kind, depth):
+        config = machine_for_depth(depth)
+        specialized = specialized_run(program, trace, config, kind,
+                                      warmup_instructions=500,
+                                      spec_dir=tmp_path)
+        kernel = kernel_run(program, trace, config, kind,
+                            warmup_instructions=500)
+        predictor = build_predictor(kind, config)
+        interpreted = PipelineEngine(
+            program, config, predictor, warmup_instructions=500,
+            core=TraceReplayCore(program, trace)).run()
+        assert specialized == kernel
+        assert kernel == interpreted
+
+    @pytest.mark.parametrize("workload", sorted(SPECS))
+    def test_every_workload(self, tmp_path, workload):
+        program = get_program(workload, scale=0.02, seed=1)
+        trace = record_trace(program)
+        config = machine_for_depth(20)
+        specialized = specialized_run(program, trace, config,
+                                      warmup_instructions=100,
+                                      spec_dir=tmp_path)
+        assert specialized == kernel_run(program, trace, config,
+                                         warmup_instructions=100)
+
+    def test_disk_cache_round_trip(self, program, trace, tmp_path):
+        first = _fresh(tmp_path, program, trace, warmup_instructions=500)
+        files = list(tmp_path.glob("*.py"))
+        assert len(files) == 1  # one module per (trace, baked constants)
+        before = files[0].read_bytes()
+        # A later (cold) process loads the cached module instead of
+        # regenerating: same result, file untouched.
+        second = _fresh(tmp_path, program, trace, warmup_instructions=500)
+        assert second == first
+        assert files[0].read_bytes() == before
+
+
+@functools.lru_cache(maxsize=1)
+def _small():
+    """A small (program, trace, spec_dir) triple the property replays
+    (built once; hypothesis forbids function-scoped fixtures)."""
+    import tempfile
+
+    program = get_program("li", scale=0.01, seed=1)
+    return program, record_trace(program), tempfile.mkdtemp(
+        prefix="repro-spec-test-")
+
+
+class TestBudgetProperty:
+    """Specialized == kernel at any (depth, warmup, budget) draw — the
+    dispatch loop's budget-truncated tail (a segment cut mid-shape falls
+    back to the generic loop) must agree with the kernel's plain loop."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_specialized_matches_kernel_at_any_draw(self, data):
+        program, trace, spec_dir = _small()
+        depth = data.draw(st.sampled_from([20, 40, 60]), label="depth")
+        warmup = data.draw(st.integers(0, 60), label="warmup")
+        budget = data.draw(st.integers(0, trace.length), label="budget")
+        specialized = specialized_run(
+            program, trace, machine_for_depth(depth),
+            warmup_instructions=warmup, max_instructions=budget,
+            spec_dir=spec_dir)
+        kernel = kernel_run(program, trace, machine_for_depth(depth),
+                            warmup_instructions=warmup,
+                            max_instructions=budget)
+        assert specialized == kernel
+
+
+class TestPoisonedCache:
+    """The codegen cache trusts nothing it did not just verify: the
+    first line must be the SHA-256 of the remainder, so any mangled
+    file regenerates — divergent code is never compiled or executed."""
+
+    def _cached_file(self, spec_dir, program, trace):
+        result = _fresh(spec_dir, program, trace, warmup_instructions=500)
+        (path,) = spec_dir.glob("*.py")
+        return result, path
+
+    @pytest.mark.parametrize("poison", [
+        b"",                              # emptied
+        b"garbage, not even a header\n",  # replaced wholesale
+        None,                             # truncated (half the file)
+    ])
+    def test_corrupt_module_regenerates(self, program, trace, tmp_path,
+                                        poison):
+        expected, path = self._cached_file(tmp_path, program, trace)
+        pristine = path.read_bytes()
+        path.write_bytes(pristine[:len(pristine) // 2]
+                         if poison is None else poison)
+        result = _fresh(tmp_path, program, trace, warmup_instructions=500)
+        assert result == expected
+        assert path.read_bytes() == pristine  # rewritten, verified form
+
+    def test_hand_edited_module_never_executes(self, program, trace,
+                                               tmp_path):
+        """A stale/divergent module body fails the checksum and is
+        discarded unexecuted — the planted import-time bomb proves the
+        poisoned text was never even compiled into a live module."""
+        expected, path = self._cached_file(tmp_path, program, trace)
+        pristine = path.read_text()
+        header, body = pristine.split("\n", 1)
+        path.write_text(header + "\n"
+                        + "raise AssertionError('poisoned module ran')\n"
+                        + body)
+        result = _fresh(tmp_path, program, trace, warmup_instructions=500)
+        assert result == expected
+        assert path.read_text() == pristine
+
+    def test_checksummed_payload_shape(self, program, trace, tmp_path):
+        _, path = self._cached_file(tmp_path, program, trace)
+        header, body = path.read_text().split("\n", 1)
+        assert header == _checksum_header(body)
+
+
+class TestFallback:
+    def test_arvi_kind_is_unsupported(self, program, trace, tmp_path):
+        # The fused ARVI pass keeps live per-config DDT/RSE state no
+        # decision stream can bake; the specializer declines (naming the
+        # workload) and the caller falls through to kernel_run.
+        with pytest.raises(KernelUnsupported, match="m88ksim"):
+            specialized_run(program, trace, machine_for_depth(20),
+                            LevelTwoKind.ARVI, spec_dir=tmp_path)
+
+    def test_wrongpath_is_unsupported(self, program, trace, tmp_path):
+        with pytest.raises(KernelUnsupported, match="redirect"):
+            specialized_run(
+                program, trace,
+                machine_for_depth(20, speculation="wrongpath"),
+                spec_dir=tmp_path)
+
+
+class TestExecutePoint:
+    """The REPRO_KERNEL_SPEC knob and kernel_source observability."""
+
+    def _point(self, **overrides):
+        fields = dict(benchmark="m88ksim", configuration="baseline",
+                      pipeline_depth=40, scale=SCALE, warmup=500)
+        fields.update(overrides)
+        return ExperimentPoint(**fields).resolve()
+
+    def test_spec_on_off_equality_and_source(self, program, trace,
+                                             tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_SPEC_DIR", str(tmp_path))
+        if trace._lowered_cache is not None:
+            # Drop the in-memory memo so the codegen actually runs (and
+            # writes) under this test's REPRO_KERNEL_SPEC_DIR.
+            trace._lowered_cache._specialized = None
+        point = self._point()
+        info_spec, info_kernel = {}, {}
+        monkeypatch.setenv("REPRO_KERNEL_SPEC", "1")
+        spec = execute_point(point, trace=trace, info=info_spec)
+        monkeypatch.setenv("REPRO_KERNEL_SPEC", "0")
+        kernel = execute_point(point, trace=trace, info=info_kernel)
+        assert spec == kernel
+        assert info_spec["kernel_source"] == "specialized"
+        assert info_kernel["kernel_source"] == "kernel"
+        assert list(tmp_path.glob("*.py"))  # REPRO_KERNEL_SPEC_DIR used
+
+    def test_spec_defaults_off(self, program, trace, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_SPEC", raising=False)
+        info = {}
+        execute_point(self._point(), trace=trace, info=info)
+        assert info["kernel_source"] == "kernel"
+
+    def test_arvi_points_use_the_fused_kernel(self, program, trace,
+                                              tmp_path, monkeypatch):
+        # REPRO_KERNEL_SPEC only covers the stream kinds: an ARVI point
+        # with the knob on still replays through the fused kernel pass.
+        monkeypatch.setenv("REPRO_KERNEL_SPEC", "1")
+        monkeypatch.setenv("REPRO_KERNEL_SPEC_DIR", str(tmp_path))
+        info = {}
+        arvi = execute_point(self._point(configuration="current"),
+                             trace=trace, info=info)
+        assert info["kernel_source"] == "kernel"
+        assert arvi == execute_point(self._point(configuration="current"),
+                                     trace=False)
+
+    def test_default_spec_dir_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_SPEC_DIR", str(tmp_path))
+        assert default_spec_dir() == tmp_path
