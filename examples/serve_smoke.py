@@ -1,0 +1,114 @@
+"""Live-view service smoke: served views == post-hoc views, mid-run reads.
+
+Boots ``python -m repro.serve`` (the HTTP/SSE streaming tier, DESIGN.md
+§14) over a queue-backed grid, reads ``/healthz`` and ``/views`` *while
+the grid is still running* — exercising the many-concurrent-readers
+path against live snapshots — then checks the view-identity invariant
+three ways once the grid drains:
+
+* the final snapshot **served over HTTP** must byte-equal
+* the final snapshot the service **wrote to disk** (``--output``), and
+* their identity views must byte-equal an **in-process post-hoc**
+  :func:`repro.experiments.aggregate.build_views` over a fresh serial
+  run of the same plan (which itself must equal the distributed run —
+  the standing bit-for-bit invariant, extended to views).
+
+CI runs this at ``REPRO_SCALE=0.05`` as the serve-smoke gate and
+uploads the snapshot JSON as an artifact; locally::
+
+    REPRO_SCALE=0.05 python examples/serve_smoke.py
+"""
+
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+from repro.experiments.aggregate import build_views, identity_json
+from repro.experiments.plan import build_plan
+from repro.experiments.scheduler import run_plan
+
+GRID = dict(configurations=("baseline", "current"), depths=(20, 40),
+            benchmarks=("li", "compress"))
+OUTPUT = pathlib.Path("serve-smoke-views.json")
+
+
+def get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def served_identity(views: dict) -> str:
+    from repro.experiments.aggregate import IDENTITY_VIEWS, canonical_json
+
+    return canonical_json({name: views[name] for name in IDENTITY_VIEWS})
+
+
+def main() -> None:
+    env = {**os.environ,
+           "PYTHONPATH": "src" + os.pathsep + os.environ.get(
+               "PYTHONPATH", ""),
+           "REPRO_CACHE": "0",
+           "REPRO_QUEUE_WORKERS": "2"}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--backend", "queue", "--jobs", "2", "--no-cache",
+         "--benchmarks", ",".join(GRID["benchmarks"]),
+         "--configurations", ",".join(GRID["configurations"]),
+         "--depths", ",".join(str(d) for d in GRID["depths"]),
+         "--output", str(OUTPUT), "--linger", "30"],
+        env=env, stdout=subprocess.PIPE, stderr=None, text=True)
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", banner)
+        assert match, f"no service URL in banner: {banner!r}"
+        base = match.group(0)
+        print(f"[serve-smoke] service up at {base}")
+
+        versions, midrun_reads = [], 0
+        deadline = time.monotonic() + 1800
+        while True:
+            assert time.monotonic() < deadline, "grid never finished"
+            assert proc.poll() is None, "service died mid-grid"
+            health = get(base + "/healthz")
+            versions.append(health["version"])
+            if health["done"]:
+                break
+            if health["results"]:
+                get(base + "/views/figure6")      # live mid-run read
+                midrun_reads += 1
+            time.sleep(0.2)
+        assert versions == sorted(versions), "versions went backwards"
+        print(f"[serve-smoke] observed versions {versions[0]} -> "
+              f"{versions[-1]} across {len(versions)} health polls, "
+              f"{midrun_reads} mid-run view reads")
+
+        served = get(base + "/views")             # the served final state
+        assert served["done"] is True
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+        proc.wait(timeout=120)
+    assert proc.returncode in (0, -15), f"service exited {proc.returncode}"
+
+    written = json.loads(OUTPUT.read_text())
+    assert served == written, "served final snapshot != --output snapshot"
+
+    plan = build_plan(**GRID)
+    serial = run_plan(plan, jobs=1, use_cache=False, backend="serial")
+    posthoc = identity_json(build_views(serial))
+    assert served_identity(served["views"]) == posthoc, (
+        "live-served views diverged from the post-hoc build")
+    status = served["views"]["status"]
+    assert status["done"] == len(plan) and status["failed"] == 0
+    print(f"[serve-smoke] OK: {status['done']} points; live-served views "
+          f"== post-hoc views byte-for-byte (version {served['version']}, "
+          f"sources {status['sources']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -100,8 +100,14 @@ class BackendReport(Protocol):
         the producing worker measured it (None for lower pseudo-ticks
         and legacy producers)."""
 
-    def deliver(self, batch_id: str, index: int, payload: dict) -> None:
-        """Its serialized ``SimulationResult`` payload arrived."""
+    def deliver(self, batch_id: str, index: int, payload: dict,
+                meta: dict | None = None) -> None:
+        """Its serialized ``SimulationResult`` payload arrived.
+
+        ``meta`` (optional) carries per-point delivery metadata —
+        ``trace_source`` / ``kernel_source`` / ``phase_seconds`` — for
+        the live-view aggregator's run-status view; it never affects
+        the result payload or its cache bytes."""
 
     def fail(self, batch_id: str, index: int | None,
              error: Exception) -> None:
@@ -150,6 +156,29 @@ def _relayable_exception(exc: Exception) -> Exception:
         return replacement
 
 
+def point_meta(info: dict, point_trace, *,
+               shipped: bool = False) -> dict:
+    """Per-point delivery metadata for the live-view aggregator.
+
+    Summarizes how a point actually ran — which functional source fed
+    it (``trace_source``: shipped / local / live), which replay tier
+    executed it (``kernel_source``), and its per-phase wall-clock —
+    from the ``info`` dict :func:`~repro.experiments.runner.
+    execute_point` populated.  Observability only: it rides next to the
+    result payload, never inside it, so cache bytes and the bit-for-bit
+    result invariant are untouched.
+    """
+    return {
+        "trace_source": "shipped" if shipped
+        else ("local" if point_trace is not None else "live"),
+        "kernel_source": info.get("kernel_source", "live"),
+        "phase_seconds": {
+            phase: round(seconds, 6)
+            for phase, seconds in sorted(
+                info.get("phase_seconds", {}).items())},
+    }
+
+
 def _maybe_prelower(point: ExperimentPoint, trace) -> bool:
     """Pay a batch's one-time trace-lowering cost up front, observably.
 
@@ -193,9 +222,12 @@ def _compute_batch(points: tuple[ExperimentPoint, ...],
     batch — and under ``REPRO_TRACE`` the batch's ``redirect`` points
     share a single recorded committed trace, so the functional core runs
     once and every timing configuration replays it.  Failures are
-    isolated per point — the batch returns ``("ok", payload)`` /
+    isolated per point — the batch returns ``("ok", payload, meta)`` /
     ``("error", exception)`` entries positionally so sibling results
-    still reach the parent (and its cache).
+    still reach the parent (and its cache).  ``meta`` is per-point
+    delivery metadata for the live-view aggregator (``trace_source``,
+    ``kernel_source``, ``phase_seconds``) — observability only, never
+    part of the result payload or its cache bytes.
 
     ``ticker`` (a manager queue) receives ``(batch_id, index,
     duration_seconds)`` after each completed point so the parent can
@@ -230,15 +262,18 @@ def _compute_batch(points: tuple[ExperimentPoint, ...],
                         ticker.put((batch_id, LOWER_TICK, None))
                     except Exception:  # noqa: BLE001 - a dead manager must
                         ticker = None  # not take the results down with it
+                info: dict = {}
                 started = time.perf_counter()
                 try:
                     with point_deadline():
-                        result = execute_point(point, trace=point_trace)
+                        result = execute_point(point, trace=point_trace,
+                                               info=info)
                 except Exception as exc:  # noqa: BLE001 - relayed to parent
                     entries.append(("error", _relayable_exception(exc)))
                     continue
                 duration = time.perf_counter() - started
-                entries.append(("ok", result.to_dict()))
+                entries.append(("ok", result.to_dict(),
+                                point_meta(info, point_trace)))
                 if ticker is not None:
                     try:
                         ticker.put((batch_id, index, duration))
@@ -366,16 +401,19 @@ class SerialBackend(ExecutionBackend):
                             and _maybe_prelower(point, point_trace):
                         lower_ticked = True
                         report.tick(batch_id, LOWER_TICK)
+                    info: dict = {}
                     started = time.perf_counter()
                     try:
                         with point_deadline():
                             payload = execute_point(
-                                point, trace=point_trace).to_dict()
+                                point, trace=point_trace,
+                                info=info).to_dict()
                     except Exception as exc:  # noqa: BLE001 - per point
                         report.fail(batch_id, index, exc)
                         continue
                     duration = time.perf_counter() - started
-                    report.deliver(batch_id, index, payload)
+                    report.deliver(batch_id, index, payload,
+                                   point_meta(info, point_trace))
                     report.tick(batch_id, index, duration)
 
 
@@ -434,11 +472,14 @@ class LocalPoolBackend(ExecutionBackend):
                             # still reach the cache.
                             report.fail(batch_id, None, exc)
                             continue
-                        for index, (status, payload) in enumerate(entries):
+                        for index, entry in enumerate(entries):
+                            status, payload = entry[0], entry[1]
                             if status != "ok":
                                 report.fail(batch_id, index, payload)
                             else:
-                                report.deliver(batch_id, index, payload)
+                                report.deliver(
+                                    batch_id, index, payload,
+                                    entry[2] if len(entry) > 2 else None)
                 # A worker's final ticks can land just after its future
                 # resolves; one last drain catches them.
                 drain_ticker()
@@ -450,16 +491,30 @@ class LocalPoolBackend(ExecutionBackend):
 
 
 def _tail_worker_logs(broker_dir: pathlib.Path, limit: int = 2000) -> str:
-    """The tail of the newest worker log, for crash-loop diagnostics."""
-    logs = sorted(broker_dir.glob("worker-*.log"),
-                  key=lambda p: p.stat().st_mtime)
-    if not logs:
+    """The tail of the newest worker log, for crash-loop diagnostics.
+
+    Runs while this is being assembled into a QueueError, so it must
+    never raise: a log rotated or unlinked between ``glob`` and ``stat``
+    is simply skipped — a vanished diagnostic file must not mask the
+    original failure being reported.
+    """
+    def _mtime(path: pathlib.Path) -> "float | None":
+        try:
+            return path.stat().st_mtime
+        except OSError:
+            return None  # vanished between glob and stat
+
+    stamped = [(stamp, path)
+               for path in broker_dir.glob("worker-*.log")
+               if (stamp := _mtime(path)) is not None]
+    if not stamped:
         return "(no worker logs found)"
+    newest = max(stamped)[1]
     try:
-        data = logs[-1].read_bytes()[-limit:]
+        data = newest.read_bytes()[-limit:]
     except OSError as exc:
         return f"(unreadable: {exc})"
-    return f"{logs[-1].name}:\n" + data.decode(errors="replace")
+    return f"{newest.name}:\n" + data.decode(errors="replace")
 
 
 def _crash_report(broker_dir: pathlib.Path, limit: int = 5) -> str:
@@ -750,9 +805,12 @@ class QueueBackend(ExecutionBackend):
                         "trace_source", "live")
                     self.kernel_sources[job.batch_id] = payload.get(
                         "kernel_source", "live")
-                    for index, (status, item) in enumerate(entries):
+                    for index, entry in enumerate(entries):
+                        status, item = entry[0], entry[1]
                         if status == "ok":
-                            report.deliver(job.batch_id, index, item)
+                            report.deliver(
+                                job.batch_id, index, item,
+                                entry[2] if len(entry) > 2 else None)
                         else:
                             error = RemotePointError(
                                 f"{item.get('type', 'Error')}: "
@@ -770,12 +828,14 @@ class QueueBackend(ExecutionBackend):
                         obs.emit("lease_expired", kind="lease", attrs={
                             "job": job_id,
                             "age": round(age, 3) if age is not None
-                            else None,
+                            else "unknown",
                             "timeout": self.lease_timeout})
                         retry(job_id, "lease expired"
                               + (f" (heartbeat {age:.1f}s old, timeout "
                                  f"{self.lease_timeout:.1f}s)"
-                                 if age is not None else ""))
+                                 if age is not None else
+                                 f" (heartbeat age unknown, timeout "
+                                 f"{self.lease_timeout:.1f}s)"))
                     else:
                         broker.remove(job_id)
                 if procs and outstanding:

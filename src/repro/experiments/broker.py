@@ -300,10 +300,18 @@ class FileBroker:
         monotonic clock — wall-clock skew between scheduler and worker
         hosts cannot misfire it.  A lease observed for the first time
         (taken before this scheduler started watching) falls back to the
-        file-mtime test once, then joins counter tracking.
+        file-mtime test once, then joins counter tracking.  That
+        one-shot test carries a staleness floor of one observation
+        interval (never less than a second): filesystems may round
+        ``st_mtime`` to whole seconds, so with a sub-second
+        ``lease_timeout`` a lease taken *just now* could otherwise look
+        up to a second stale and be expired before its worker ever had
+        a chance to heartbeat.  Genuinely orphaned leases (minutes or
+        hours old) still expire on first sight.
         """
         now = time.monotonic()
-        mtime_deadline = time.time() - self.lease_timeout
+        slack = max(1.0, self.lease_timeout)
+        mtime_deadline = time.time() - self.lease_timeout - slack
         stale = []
         for path in self.leased_dir.glob("*.msg"):
             job_id = path.stem
@@ -315,9 +323,15 @@ class FileBroker:
             count = self._read_heartbeat(job_id)
             record = self._hb_seen.get(job_id)
             if record is None:
-                self._hb_seen[job_id] = (count, now)
                 if mtime < mtime_deadline:
+                    # Orphaned long before this watcher started.  Not
+                    # recorded in _hb_seen: the job is about to be
+                    # requeued, and its heartbeat age is genuinely
+                    # unknown (the mtime came from another host's wall
+                    # clock — see lease_age).
                     stale.append(job_id)
+                else:
+                    self._hb_seen[job_id] = (count, now)
                 continue
             seen_count, seen_at = record
             if count is not None and count != seen_count:
@@ -328,15 +342,26 @@ class FileBroker:
         return stale
 
     def lease_age(self, job_id: str) -> float | None:
-        """Seconds since a leased job's last observed heartbeat, or None."""
+        """Seconds since a leased job's last observed heartbeat, or None.
+
+        Skew-immune by construction: the age is this process's own
+        monotonic clock measured from the moment the heartbeat counter
+        was last seen to advance.  A lease this watcher has never
+        observed has no trusted reference point — its file mtime was
+        stamped by another host's wall clock, and cross-host skew makes
+        ``time.time() - st_mtime`` arbitrarily wrong (a future-skewed
+        mtime clamps to an innocent-looking 0.0, hiding a genuinely
+        stalled lease) — so the age is ``None`` (unknown), rendered as
+        "unknown" in QueueError messages and lease-lifecycle events.
+        """
         try:
             path = self.leased_dir / f"{self._check_job_id(job_id)}.msg"
             record = self._hb_seen.get(job_id)
             if record is not None and path.exists():
                 return max(0.0, time.monotonic() - record[1])
-            return max(0.0, time.time() - path.stat().st_mtime)
         except (OSError, ValueError):
             return None
+        return None
 
     def queued_count(self) -> int:
         return sum(1 for _ in self.queue_dir.glob("*.msg"))

@@ -55,14 +55,15 @@ def run_figure5(*, scale: float | None = None, warmup: int | None = None,
                 depths=PIPELINE_DEPTHS, benchmarks=BENCHMARKS,
                 jobs: int | None = None, cache: ResultCache | None = None,
                 use_cache: bool = True,
-                progress: ProgressCallback | None = None) -> Figure5Data:
+                progress: ProgressCallback | None = None,
+                sink=None) -> Figure5Data:
     plan = plan_from_points(
         ExperimentPoint(benchmark, "current", depth).resolve(
             scale=scale, warmup=warmup)
         for benchmark in benchmarks
         for depth in depths)
     results = run_plan(plan, jobs=jobs, cache=cache, use_cache=use_cache,
-                       progress=progress)
+                       progress=progress, sink=sink)
     data = Figure5Data()
     for point, result in results.items():
         data.load_rates[(point.benchmark, point.pipeline_depth)] = (

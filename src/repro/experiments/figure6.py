@@ -86,10 +86,11 @@ def run_figure6(depth: int, *, scale: float | None = None,
                 configurations=CONFIGURATIONS,
                 jobs: int | None = None, cache: ResultCache | None = None,
                 use_cache: bool = True,
-                progress: ProgressCallback | None = None) -> Figure6Data:
+                progress: ProgressCallback | None = None,
+                sink=None) -> Figure6Data:
     grid = run_suite(configurations, depths=(depth,), benchmarks=benchmarks,
                      scale=scale, warmup=warmup, jobs=jobs, cache=cache,
-                     use_cache=use_cache, progress=progress)
+                     use_cache=use_cache, progress=progress, sink=sink)
     data = Figure6Data(depth=depth)
     for (benchmark, configuration, _), result in grid.items():
         data.results[(benchmark, configuration)] = result

@@ -55,9 +55,11 @@ def code_fingerprint() -> str:
         rel = path.relative_to(root)
         if rel.parts[0] == "experiments" and rel.name != "runner.py":
             continue
-        if rel.parts == ("worker.py",):
-            # The queue worker entrypoint is harness, not simulator: it
-            # funnels into the same execute_point as every other path.
+        if rel.parts in (("worker.py",), ("serve.py",)):
+            # Harness, not simulator: the queue worker entrypoint
+            # funnels into the same execute_point as every other path,
+            # and the view server only reads results.  Neither can
+            # change what a point computes.
             continue
         if rel.parts[0] == "obs":
             # Telemetry observes; it never feeds back into a simulation

@@ -296,6 +296,7 @@ def run_suite(configurations=CONFIGURATIONS, depths=(20,),
               batch: bool | None = None,
               backend=None,
               manifest=None,
+              sink=None,
               ) -> dict[tuple[str, str, int], SimulationResult]:
     """Run a grid of experiment points; keyed (benchmark, config, depth).
 
@@ -312,12 +313,17 @@ def run_suite(configurations=CONFIGURATIONS, depths=(20,),
     ``REPRO_BACKEND`` (``serial`` | ``local`` | ``queue``; see
     :mod:`repro.experiments.backends`) — results are bit-for-bit equal
     on every backend.  ``manifest=None`` honours ``REPRO_MANIFEST``
-    (crash-safe resumable runs; see :func:`run_plan`).
+    (crash-safe resumable runs; see :func:`run_plan`).  ``sink`` is an
+    optional live-view aggregator (see
+    :mod:`repro.experiments.aggregate`) fed every progress tick and
+    per-point result as the grid runs; ``sink=None`` honours
+    ``REPRO_SERVE`` (serve the views over HTTP/SSE for the duration of
+    the run; see :mod:`repro.serve`).
     """
     plan = build_plan(configurations, depths, benchmarks, scale=scale,
                       warmup=warmup, seed=seed, arvi_config=arvi_config,
                       speculation=speculation)
     results = run_plan(plan, jobs=jobs, cache=cache, use_cache=use_cache,
                        progress=progress, batch=batch, backend=backend,
-                       manifest=manifest)
+                       manifest=manifest, sink=sink)
     return {point.grid_key: result for point, result in results.items()}

@@ -53,6 +53,8 @@ drained — completed siblings always reach the cache first.
 
 from __future__ import annotations
 
+import contextlib
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -142,7 +144,7 @@ class _PlanReport:
         self._batches = batches
         self._source = source
         self._emit = emit            # (point, source, batch_id, batch_size)
-        self._deliver = deliver      # (point, payload) -> None
+        self._deliver = deliver      # (point, payload, meta) -> None
         self._ticked: set[tuple[str, int]] = set()
         self.wants_ticks = wants_ticks
         self.failure: Exception | None = None
@@ -165,8 +167,9 @@ class _PlanReport:
         self._emit(group[index], self._source, batch_id, len(group),
                    duration=duration)
 
-    def deliver(self, batch_id: str, index: int, payload: dict) -> None:
-        self._deliver(self._batches[batch_id][index], payload)
+    def deliver(self, batch_id: str, index: int, payload: dict,
+                meta: dict | None = None) -> None:
+        self._deliver(self._batches[batch_id][index], payload, meta)
 
     def fail(self, batch_id: str, index: int | None,
              error: Exception) -> None:
@@ -182,6 +185,7 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
              batch: bool | None = None,
              backend: "str | ExecutionBackend | None" = None,
              manifest=None,
+             sink=None,
              ) -> dict[ExperimentPoint, SimulationResult]:
     """Execute a plan; returns {resolved point -> result}.
 
@@ -200,6 +204,17 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
     manifest recorded (``source="manifest"`` events) and executes only
     the remainder, converging to bit-identical results
     (:mod:`repro.faults.manifest`).
+
+    ``sink`` attaches a live-view aggregator (duck-typed; see
+    :class:`~repro.experiments.aggregate.ViewAggregator`): it receives
+    every :class:`ProgressEvent` (``on_progress``), every delivered
+    result — backend deliveries, cache hits and manifest replays alike
+    (``on_result``) — and the final failure list (``on_failure``), so
+    its materialized views converge to the same bytes post-hoc
+    construction yields.  ``sink=None`` honours ``REPRO_SERVE``
+    (default off): when set, the plan runs with an aggregator plus an
+    HTTP/SSE view server (:mod:`repro.serve`) attached for its
+    duration.
     """
     telemetry = None
     if obs.enabled() and obs.current() is None:
@@ -208,17 +223,42 @@ def run_plan(plan: ExperimentPlan, *, jobs: int | None = None,
         telemetry = obs.start_run(label="plan")
     try:
         with obs.span("plan", kind="plan", attrs={"points": len(plan)}):
-            return _run_plan(plan, jobs=jobs, cache=cache,
-                             use_cache=use_cache, progress=progress,
-                             batch=batch, backend=backend,
-                             manifest=manifest)
+            with _resolve_sink(sink) as live_sink:
+                return _run_plan(plan, jobs=jobs, cache=cache,
+                                 use_cache=use_cache, progress=progress,
+                                 batch=batch, backend=backend,
+                                 manifest=manifest, sink=live_sink)
     finally:
         if telemetry is not None:
             obs.close_run(telemetry)
 
 
+def serve_requested() -> bool:
+    """``REPRO_SERVE`` truthiness (default off)."""
+    return os.environ.get("REPRO_SERVE", "0").strip().lower() not in (
+        "", "0", "false", "no", "off")
+
+
+def _resolve_sink(sink):
+    """The live-view sink context for one run_plan call.
+
+    An explicit sink is used as-is (its owner manages any server and
+    its lifetime).  With no sink, ``REPRO_SERVE`` wires up the full
+    streaming tier for the duration of the plan: a
+    :class:`~repro.experiments.aggregate.ViewAggregator` plus a
+    :class:`~repro.serve.ViewServer` on ``REPRO_SERVE_PORT``.  Imported
+    lazily so the scheduler never pays for (or circularly imports) the
+    serving tier unless it is actually on.
+    """
+    if sink is not None or not serve_requested():
+        return contextlib.nullcontext(sink)
+    from repro import serve
+
+    return serve.autoserve()
+
+
 def _run_plan(plan: ExperimentPlan, *, jobs, cache, use_cache, progress,
-              batch, backend, manifest,
+              batch, backend, manifest, sink=None,
               ) -> dict[ExperimentPoint, SimulationResult]:
     started = time.perf_counter()
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
@@ -257,15 +297,28 @@ def _run_plan(plan: ExperimentPlan, *, jobs, cache, use_cache, progress,
         obs.emit("progress", kind="point", attrs=attrs)
         if duration is not None:
             obs.observe_duration("point.duration", duration, source=source)
-        if progress is not None:
-            progress(ProgressEvent(
+        if progress is not None or sink is not None:
+            event = ProgressEvent(
                 point=point, key=keys[point], completed=done,
                 total=len(plan), source=source,
                 elapsed=time.perf_counter() - started,
                 batch_id=batch_id, batch_size=batch_size, phase=phase,
-                timestamp=time.time(), duration=duration))
+                timestamp=time.time(), duration=duration)
+            if progress is not None:
+                progress(event)
+            if sink is not None:
+                sink.on_progress(event)
+
+    def sink_result(point: ExperimentPoint, source: str,
+                    result: SimulationResult,
+                    meta: dict | None = None) -> None:
+        if sink is not None:
+            sink.on_result(point, keys[point], result,
+                           source=source, meta=meta)
 
     store = resolve_manifest(manifest, [keys[point] for point in plan])
+    if sink is not None:
+        sink.on_plan(plan, keys)
     try:
         pending: list[ExperimentPoint] = []
         for point in plan:
@@ -274,6 +327,7 @@ def _run_plan(plan: ExperimentPlan, *, jobs, cache, use_cache, progress,
                 obs.inc("cache.hit" if hit is not None else "cache.miss")
             if hit is not None:
                 results[point] = hit
+                sink_result(point, "cache", hit)
                 emit(point, "cache")
             elif store is not None and keys[point] in store.completed:
                 # A previous (possibly killed) run of this exact plan
@@ -282,14 +336,17 @@ def _run_plan(plan: ExperimentPlan, *, jobs, cache, use_cache, progress,
                 results[point] = _finish(point, store.completed[keys[point]],
                                          keys, cache)
                 obs.inc("manifest.replayed")
+                sink_result(point, "manifest", results[point])
                 emit(point, "manifest")
             else:
                 pending.append(point)
 
-        def deliver(point: ExperimentPoint, payload: dict) -> None:
+        def deliver(point: ExperimentPoint, payload: dict,
+                    meta: dict | None = None) -> None:
             results[point] = _finish(point, payload, keys, cache)
             if store is not None:
                 store.record(keys[point], payload)
+            sink_result(point, engine.source, results[point], meta)
 
         report: _PlanReport | None = None
         engine = None
@@ -303,6 +360,7 @@ def _run_plan(plan: ExperimentPlan, *, jobs, cache, use_cache, progress,
                       for index, group in enumerate(batches)}
             report = _PlanReport(groups, engine.source, emit, deliver,
                                  wants_ticks=(progress is not None
+                                              or sink is not None
                                               or obs.current() is not None))
             try:
                 engine.execute(groups, report, jobs=jobs)
@@ -325,6 +383,16 @@ def _run_plan(plan: ExperimentPlan, *, jobs, cache, use_cache, progress,
                 report = None
 
         if report is not None and report.failure is not None:
+            if sink is not None:
+                # Final failures only: a degraded attempt's failures are
+                # attempt artifacts (the fallback re-ran those points),
+                # so the sink sees exactly what the caller is about to.
+                for failed_point, error in report.failures:
+                    sink.on_failure(
+                        failed_point,
+                        keys.get(failed_point) if failed_point is not None
+                        else None,
+                        error)
             quarantined = _quarantine(report.failures, keys)
             if quarantined is not None:
                 report.failure.add_note(
@@ -382,8 +450,9 @@ def run_points(points, *, jobs: int | None = None,
                batch: bool | None = None,
                backend: "str | ExecutionBackend | None" = None,
                manifest=None,
+               sink=None,
                ) -> dict[ExperimentPoint, SimulationResult]:
     """Convenience wrapper: plan from explicit points, then run."""
     return run_plan(plan_from_points(points), jobs=jobs, cache=cache,
                     use_cache=use_cache, progress=progress, batch=batch,
-                    backend=backend, manifest=manifest)
+                    backend=backend, manifest=manifest, sink=sink)

@@ -46,7 +46,7 @@ EVENT_TYPES = ("span_start", "span_end", "event", "metrics")
 KNOWN_KINDS = (
     "run", "plan", "batch", "point", "phase", "cache", "trace",
     "queue", "lease", "worker", "interval", "metrics", "error",
-    "fault", "backend",
+    "fault", "backend", "view",
 )
 
 

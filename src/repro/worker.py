@@ -56,7 +56,7 @@ import time
 import traceback
 
 from repro import obs
-from repro.experiments.backends import _maybe_prelower
+from repro.experiments.backends import _maybe_prelower, point_meta
 from repro.experiments.broker import FileBroker, LeasedJob
 from repro.experiments.plan import ExperimentPoint
 from repro.experiments.runner import execute_point
@@ -197,7 +197,9 @@ def _run_job(broker: FileBroker, leased: LeasedJob,
                 if (_KERNEL_SOURCE_RANK.get(point_source, 0)
                         > _KERNEL_SOURCE_RANK[kernel_source]):
                     kernel_source = point_source
-                entries.append(["ok", result.to_dict()])
+                entries.append(["ok", result.to_dict(),
+                                point_meta(info, point_trace,
+                                           shipped=trace is not None)])
                 broker.tick(job_id, index,
                             time.perf_counter() - started)
                 state.completed_points += 1

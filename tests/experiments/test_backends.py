@@ -25,6 +25,7 @@ from hypothesis import strategies as st
 from repro.experiments.backends import (
     QueueBackend,
     SerialBackend,
+    _tail_worker_logs,
     default_backend_name,
     resolve_backend,
 )
@@ -116,7 +117,7 @@ class TestProgressRetryConsistency:
                     for index in range(min(2, len(group))):
                         report.tick(batch_id, index)
                     # Attempt 2 re-runs the whole batch from the start.
-                    for index, (status, payload) in enumerate(entries):
+                    for index, (status, payload, _meta) in enumerate(entries):
                         report.tick(batch_id, index)
                         report.deliver(batch_id, index, payload)
 
@@ -242,8 +243,9 @@ class TestFileBrokerStateMachine:
         broker = FileBroker(tmp_path, lease_timeout=0.1)
         broker.submit("j1", {"attempt": 1})
         broker.lease()
-        time.sleep(0.15)
-        assert broker.expired() == ["j1"]
+        assert broker.expired() == []  # first observation: joins counter
+        time.sleep(0.15)               # tracking (coarse-mtime floor),
+        assert broker.expired() == ["j1"]  # then the stalled counter fires
         broker.remove("j1")
         broker.submit("j1", {"attempt": 2})
         assert broker.expired() == []
@@ -501,10 +503,65 @@ class TestWorkerEntrypoint:
                 time.sleep(0.01)
             os.kill(proc.pid, signal.SIGKILL)
             proc.wait(timeout=30)
-            time.sleep(0.25)
+            broker.expired()       # first observation joins counter
+            time.sleep(0.25)       # tracking; the dead worker's counter
             assert broker.expired() == ["j1"] or \
                 broker.collect_results()  # tiny point may have finished
         finally:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait()
+
+
+# -- crash-report log tailing -------------------------------------------------
+
+
+class TestWorkerLogTailing:
+    """`_tail_worker_logs` assembles *diagnostics for a failure already
+    being raised* — a log vanishing mid-collection (rotation, cleanup,
+    a dying worker unlinking its own file) must be skipped, never allowed
+    to replace the original QueueError with a stat traceback."""
+
+    def test_log_vanishing_between_glob_and_stat_is_skipped(
+            self, tmp_path, monkeypatch):
+        import pathlib
+
+        survivor = tmp_path / "worker-1.log"
+        survivor.write_text("survivor tail")
+        doomed = tmp_path / "worker-2.log"
+        doomed.write_text("gone")
+        real_stat = pathlib.Path.stat
+
+        def racy_stat(self, **kwargs):
+            if self.name == doomed.name:
+                raise FileNotFoundError(f"vanished: {self}")
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "stat", racy_stat)
+        tail = _tail_worker_logs(tmp_path)
+        assert "survivor tail" in tail
+        assert survivor.name in tail
+
+    def test_all_logs_vanished(self, tmp_path, monkeypatch):
+        import pathlib
+
+        (tmp_path / "worker-1.log").write_text("x")
+        real_stat = pathlib.Path.stat
+
+        def all_logs_vanished(self, **kwargs):
+            if self.name.endswith(".log"):
+                raise FileNotFoundError(f"vanished: {self}")
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "stat", all_logs_vanished)
+        assert _tail_worker_logs(tmp_path) == "(no worker logs found)"
+
+    def test_unreadable_newest_log_is_reported_not_raised(
+            self, tmp_path, monkeypatch):
+        import pathlib
+
+        (tmp_path / "worker-1.log").write_text("x")
+        monkeypatch.setattr(
+            pathlib.Path, "read_bytes",
+            lambda self: (_ for _ in ()).throw(OSError("evicted")))
+        assert "unreadable" in _tail_worker_logs(tmp_path)

@@ -458,6 +458,57 @@ class TestHeartbeatSkew:
         watcher = FileBroker(tmp_path, lease_timeout=0.2)  # fresh scheduler
         assert watcher.expired() == ["j1"]            # mtime fallback fires
 
+    def test_coarse_mtime_cannot_expire_a_fresh_lease_on_first_sight(
+            self, tmp_path):
+        """The one-shot mtime fallback carries a staleness floor: on a
+        filesystem that rounds st_mtime to whole seconds, a sub-second
+        ``lease_timeout`` must not expire a lease taken *just now* the
+        first time a restarted scheduler observes it."""
+        taker = FileBroker(tmp_path, lease_timeout=0.2)
+        taker.submit("j1", {})
+        taker.lease()
+        # Worst-case coarse-mtime rounding: the file looks 0.9s old the
+        # instant after the lease was taken (> lease_timeout, < floor).
+        past = time.time() - 0.9
+        os.utime(taker.leased_dir / "j1.msg", (past, past))
+        watcher = FileBroker(tmp_path, lease_timeout=0.2)
+        assert watcher.expired() == []         # floored, joins tracking
+        time.sleep(0.25)                       # counter never advances...
+        assert watcher.expired() == ["j1"]     # ...so it expires properly
+
+    def test_first_sight_orphan_has_unknown_lease_age(self, tmp_path):
+        """A lease expired via the one-shot mtime fallback was never
+        heartbeat-observed by this watcher, so its age is genuinely
+        unknown: ``lease_age`` returns None (rendered "unknown" in the
+        QueueError retry reason and the lease_expired ledger event),
+        never a skew-poisoned ``time.time() - st_mtime`` number."""
+        taker = FileBroker(tmp_path, lease_timeout=0.2)
+        taker.submit("j1", {})
+        taker.lease()
+        past = time.time() - 3600
+        os.utime(taker.leased_dir / "j1.msg", (past, past))
+        watcher = FileBroker(tmp_path, lease_timeout=0.2)
+        assert watcher.expired() == ["j1"]     # the scheduler's sequence:
+        assert watcher.lease_age("j1") is None  # ...then age -> unknown
+
+    def test_lease_age_is_monotonic_once_observed(self, tmp_path):
+        broker = FileBroker(tmp_path, lease_timeout=5.0)
+        broker.submit("j1", {})
+        assert broker.lease_age("j1") is None  # not leased at all
+        broker.lease()
+        assert broker.lease_age("j1") is None  # leased, never observed
+        assert broker.expired() == []          # first observation
+        age = broker.lease_age("j1")
+        assert age is not None and age >= 0.0
+        time.sleep(0.05)
+        later = broker.lease_age("j1")
+        assert later is not None and later >= age
+        # A future-skewed mtime must not clamp the age to a bogus 0.0.
+        ahead = time.time() + 3600
+        os.utime(broker.leased_dir / "j1.msg", (ahead, ahead))
+        skewed = broker.lease_age("j1")
+        assert skewed is not None and skewed >= later
+
 
 # -- graceful SIGTERM ---------------------------------------------------------
 
@@ -515,7 +566,7 @@ class TestGracefulSigterm:
         assert job_id == "j1"
         entries = message.payload["entries"]
         assert len(entries) == total
-        assert all(status == "ok" for status, _ in entries)
+        assert all(status == "ok" for status, *_ in entries)
         second_ticks = {index for _job, index, _dur
                         in broker.drain_ticks() if index >= 0}
         assert first_ticks | second_ticks == set(range(total))
@@ -761,7 +812,7 @@ class TestDegradation:
 
             def execute(self, batches, report, *, jobs):
                 batch_id = next(iter(batches))
-                [(status, payload)] = _compute_batch(
+                [(status, payload, _meta)] = _compute_batch(
                     (batches[batch_id][0],))
                 assert status == "ok"
                 report.deliver(batch_id, 0, payload)
